@@ -1,0 +1,51 @@
+"""Figure 11: input-gradient attribution — auxiliary signals drive early alerts.
+
+Paper shape: for a UDP attack, the A2 (previous attackers) gradient in
+LSTM_med is high ~22 hours before the anomaly start, and LSTM_short picks
+up A2 activity ~10 hours before, while the volumetric gradient only rises
+when the flood itself begins.
+"""
+
+import numpy as np
+
+from repro.eval import input_gradients, render_table
+
+from .conftest import run_once
+
+
+def test_fig11_gradient_attribution(benchmark, headline):
+    trace = headline.trace
+    model = headline.model
+    extractor = headline.extractor
+    scaler = headline.train_set.scaler
+    lookback = model.config.lookback_minutes
+
+    # Pick the latest event with a full lookback window before onset.
+    event = None
+    for candidate in sorted(trace.events, key=lambda e: -e.onset):
+        if candidate.onset >= lookback:
+            event = candidate
+            break
+    assert event is not None
+
+    raw = extractor.window(event.customer_id, event.onset - lookback, event.onset)
+    scaled = scaler.transform(raw)
+    attribution = run_once(benchmark, lambda: input_gradients(model, scaled))
+
+    # Aggregate |gradient| per group over early vs late thirds of the window.
+    third = lookback // 3
+    rows = []
+    for group in attribution.groups:
+        series = attribution.group_series(group)
+        rows.append([group, float(series[:third].mean()), float(series[-third:].mean())])
+    print()
+    print(render_table(
+        ["feature group", "early-window |grad|", "late-window |grad|"],
+        rows, title=f"Figure 11: gradient attribution ({event.attack_type.value})",
+    ))
+    magnitudes = attribution.magnitude
+    assert magnitudes.shape == (lookback, len(attribution.groups))
+    assert np.isfinite(magnitudes).all()
+    # Paper shape: auxiliary groups carry nonzero gradient well before onset.
+    aux_cols = [attribution.groups.index(g) for g in ("A1", "A2", "A3", "A4", "A5")]
+    assert magnitudes[:third, aux_cols].sum() > 0

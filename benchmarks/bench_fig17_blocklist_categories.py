@@ -1,0 +1,36 @@
+"""Figure 17: contribution of individual A1 blocklist categories.
+
+Paper shape: the three prevalent categories (DDoS-source, bot, scanner
+lists) each bring most of the A1 improvement for UDP/TCP attack types; DNS
+amplification and ICMP benefit little from any blocklist.
+"""
+
+from repro.eval import render_table, run_blocklist_breakdown
+from repro.signals import BLOCKLIST_CATEGORIES
+
+from .conftest import make_pipeline_config, run_once
+
+CATEGORIES = list(BLOCKLIST_CATEGORIES[:3])  # ddos_source, bot_generic, scanner
+
+
+def test_fig17_blocklist_category_breakdown(benchmark):
+    config = make_pipeline_config(epochs=4)
+    results = run_once(
+        benchmark, lambda: run_blocklist_breakdown(config, categories=CATEGORIES)
+    )
+    print()
+    print(render_table(
+        ["A1 restricted to", "eff p10", "eff median", "listed /24s"],
+        [
+            [r.category, r.effectiveness_p10, r.effectiveness_median, r.n_listed_subnets]
+            for r in results
+        ],
+        title="Figure 17: per-blocklist-category contribution",
+    ))
+    by_cat = {r.category: r for r in results}
+    assert "all_categories" in by_cat
+    # Paper shape: single categories carry fewer listed subnets than the
+    # union, and the pipeline still trains and detects with each.
+    for category in CATEGORIES:
+        assert by_cat[category].n_listed_subnets <= by_cat["all_categories"].n_listed_subnets
+        assert 0.0 <= by_cat[category].effectiveness_median <= 1.0

@@ -1,0 +1,102 @@
+"""Figure 18: sensitivity analysis on Xatu's components and parameters.
+
+Paper shape: (a) Xatu trained from NetScout vs FastNetMon labels performs
+comparably; (b) dropping LSTM_short hurts the most; (c) the default
+timescales beat much larger pooling windows; (d) the survival loss beats
+BCE; (e) effectiveness saturates with enough hidden units; (f) a too-short
+history hurts the tail while longer histories add little.
+"""
+
+import pytest
+
+from repro.eval import SensitivityExperiment, render_table
+
+from .conftest import make_pipeline_config, run_once
+
+
+@pytest.fixture(scope="module")
+def sensitivity():
+    # Looser bound than the headline bench: each sensitivity point trains
+    # on the same ~15-event validation split, and a tight bound makes the
+    # calibrated threshold over-conserve on test (see EXPERIMENTS.md).
+    return SensitivityExperiment(make_pipeline_config(epochs=4, overhead_bound=0.25))
+
+
+def _show(points, title):
+    print()
+    print(render_table(
+        ["sweep", "setting", "eff p10", "eff median", "eff p90", "delay median"],
+        [
+            [p.sweep, p.setting, p.effectiveness_p10, p.effectiveness_median,
+             p.effectiveness_p90, p.delay_median]
+            for p in points
+        ],
+        title=title,
+    ))
+
+
+def test_fig18a_cdet_choice(benchmark, sensitivity):
+    points = run_once(benchmark, sensitivity.cdet_choice)
+    _show(points, "Figure 18(a): label source (NetScout vs FastNetMon)")
+    by_setting = {p.setting: p for p in points}
+    # Paper shape: Xatu works when trained from either CDet's labels ("Xatu
+    # is independent of CDet").  With tens of label events per source the
+    # medians are noisy, so the assertion is that both label sources yield
+    # a functioning detector rather than a tight equality.
+    assert by_setting["netscout"].effectiveness_median >= 0.3
+    assert by_setting["fastnetmon"].effectiveness_median >= 0.3
+
+
+def test_fig18b_lstm_contribution(benchmark, sensitivity):
+    points = run_once(benchmark, sensitivity.lstm_contribution)
+    _show(points, "Figure 18(b): dropping one timescale LSTM at a time")
+    by_setting = {p.setting: p for p in points}
+    assert "all" in by_setting and len(points) == 4
+
+
+def test_fig18c_timescale_choice(benchmark, sensitivity):
+    points = run_once(benchmark, sensitivity.timescale_choice)
+    _show(points, "Figure 18(c): pooling timescale variants")
+    by_setting = {p.setting: p for p in points}
+    # Paper shape: much larger pooling windows do not beat the default.
+    assert (
+        by_setting["default"].effectiveness_median
+        >= by_setting["larger"].effectiveness_median - 0.20
+    )
+
+
+def test_fig18d_survival_vs_bce(benchmark, sensitivity):
+    points = run_once(benchmark, sensitivity.survival_vs_classification)
+    _show(points, "Figure 18(d): survival loss vs classification loss")
+    by_setting = {p.setting: p for p in points}
+    # Paper shape: the survival model is at least competitive with BCE.
+    assert (
+        by_setting["survival"].effectiveness_median
+        >= by_setting["bce"].effectiveness_median - 0.15
+    )
+
+
+def test_fig18e_hidden_units(benchmark, sensitivity):
+    points = run_once(benchmark, lambda: sensitivity.hidden_units([4, 16]))
+    _show(points, "Figure 18(e): hidden units")
+    for p in points:
+        assert 0.0 <= p.effectiveness_median <= 1.0
+
+
+def test_ablation_pooling_operator(benchmark, sensitivity):
+    """Extension ablation: avg (paper) vs max pooling in the Fig-6
+    aggregation stage."""
+    points = run_once(benchmark, sensitivity.pooling_choice)
+    _show(points, "Extension: pooling operator (avg vs max)")
+    by_setting = {p.setting: p for p in points}
+    assert set(by_setting) == {"avg", "max"}
+    for p in points:
+        assert 0.0 <= p.effectiveness_median <= 1.0
+
+
+def test_fig18f_history_length(benchmark, sensitivity):
+    points = run_once(benchmark, lambda: sensitivity.history_length([6, 12]))
+    _show(points, "Figure 18(f): history length (long-LSTM span)")
+    assert len(points) == 2
+    for p in points:
+        assert 0.0 <= p.effectiveness_median <= 1.0

@@ -1,0 +1,64 @@
+"""Figures 4(a) and 4(b): attack preparation signals and type transitions.
+
+Paper shape (Fig 4a): blocklisted / previous-attacker / spoofed sources
+convert to actual attackers in 65.7% / 80% / 26.3% of attacks; about half
+of attacks have most attackers carrying the A1/A2 signals.  (Fig 4b): 97.9%
+of consecutive attack pairs on a customer repeat the same type.
+"""
+
+import numpy as np
+
+from repro.eval import prep_signal_census, render_table, same_type_share, transition_matrix
+
+from .conftest import run_once
+
+
+def test_fig4a_prep_signals(benchmark, bench_trace):
+    census = run_once(benchmark, lambda: prep_signal_census(bench_trace))
+    rows = []
+    for name, getter in (
+        ("blocklisted (A1)", lambda r: r.blocklisted_fraction),
+        ("previous attackers (A2)", lambda r: r.previous_attacker_fraction),
+        ("spoofed (A3)", lambda r: r.spoofed_fraction),
+    ):
+        values = np.array([getter(r) for r in census])
+        rows.append([
+            name,
+            float(np.median(values)),
+            float((values > 0).mean()),
+        ])
+    print()
+    print(render_table(
+        ["signal", "median attacker fraction", "share of attacks w/ signal"],
+        rows, title="Figure 4(a): attack preparation signals",
+    ))
+    by_name = {r[0]: r for r in rows}
+    # Paper shape: A1 and A2 are the strong signals, A3 weaker (only
+    # obviously-spoofed traffic is identifiable).
+    assert by_name["blocklisted (A1)"][2] > 0.5
+    assert by_name["previous attackers (A2)"][2] > 0.3
+    assert by_name["spoofed (A3)"][1] <= by_name["blocklisted (A1)"][1]
+
+
+def test_fig4b_type_transitions(benchmark, bench_trace):
+    matrix, types, pairs = run_once(benchmark, lambda: transition_matrix(bench_trace))
+    rows = []
+    for i, t in enumerate(types):
+        if matrix[i].sum() > 0:
+            rows.append([t.value, matrix[i, i]])
+    share = same_type_share(bench_trace)
+    print()
+    print(render_table(
+        ["attack type", "P(next attack same type)"],
+        rows,
+        title=(
+            f"Figure 4(b): type transitions over {pairs} pairs "
+            f"(same-type share {share:.1%}; paper: 97.9%)"
+        ),
+    ))
+    # Paper shape: consecutive pairs overwhelmingly repeat the same type.
+    # The paper's 97.9% is the count-weighted share; at replica scale
+    # interleaved campaigns on shared customers dilute it, but the
+    # majority-same-type shape must hold.
+    assert pairs > 0
+    assert share > 0.5

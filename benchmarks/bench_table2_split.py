@@ -1,0 +1,30 @@
+"""Table 2: number of attacks per type in the chronological 50/20/30 split.
+
+Paper shape: TCP ACK dominates (62%), then UDP flood (26.3%), DNS
+amplification (7.2%); every type appears in all three splits at ISP scale.
+"""
+
+from repro.eval import render_table, split_table
+from repro.synth import ATTACK_TYPE_MIX
+
+from .conftest import run_once
+
+
+def test_table2_attack_split(benchmark, bench_trace):
+    table = run_once(benchmark, lambda: split_table(bench_trace))
+    rows = []
+    total = sum(sum(row.values()) for row in table.values())
+    for type_name, row in table.items():
+        n = sum(row.values())
+        rows.append([type_name, f"{n / total:.1%}" if total else "0%",
+                     row["train"], row["val"], row["test"], n])
+    print()
+    print(render_table(
+        ["attack type", "%", "train", "val", "test", "total"],
+        rows, title="Table 2: attacks per type per split",
+    ))
+    assert total == len(bench_trace.events)
+    # Paper shape: the configured mix puts TCP ACK and UDP flood on top.
+    counts = {k: sum(v.values()) for k, v in table.items()}
+    top_two = sorted(counts, key=counts.get, reverse=True)[:2]
+    assert set(top_two) <= {"tcp_ack", "udp_flood", "dns_amplification"}

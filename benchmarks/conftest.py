@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures.
+
+Heavy artefacts (the synthetic trace, the trained headline experiment) are
+session-scoped so each figure's bench measures its own analysis, not
+redundant setup.  Benches run the compressed replica presets; the printed
+rows are the reproduction's counterpart of each paper figure (see
+EXPERIMENTS.md for the paper-vs-measured record).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PipelineConfig, TrainConfig
+from repro.eval import HeadlineExperiment, bench_model_config, bench_scenario, tiny_scenario
+from repro.synth import TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def bench_trace():
+    """The census trace (Figures 3/4/15/16, Table 2)."""
+    return TraceGenerator(bench_scenario(seed=3)).generate()
+
+
+def make_pipeline_config(seed: int = 3, overhead_bound: float = 0.1, epochs: int = 6):
+    return PipelineConfig(
+        scenario=tiny_scenario(seed=seed),
+        model=bench_model_config(),
+        train=TrainConfig(epochs=epochs, batch_size=8, learning_rate=3e-3),
+        overhead_bound=overhead_bound,
+    )
+
+
+@pytest.fixture(scope="session")
+def headline():
+    """One trained HeadlineExperiment shared by Figures 8, 9, and 10."""
+    experiment = HeadlineExperiment(make_pipeline_config())
+    experiment.prepare()
+    return experiment
+
+
+def run_once(benchmark, fn):
+    """Benchmark an expensive analysis with a single measured round."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,30 @@
+"""repro — a reproduction of Xatu (CoNEXT 2022).
+
+Xatu boosts existing DDoS detection systems with auxiliary signals: attack
+preparation activity (blocklisted / previously-attacking / spoofed sources)
+and attack history (serial and correlated attacks), learned by a
+multi-timescale LSTM trained with a survival-analysis (SAFE) loss.
+
+Top-level subpackages
+---------------------
+``repro.nn``       numpy autograd + LSTM/Adam/SAFE loss (PyTorch substitute)
+``repro.netflow``  flow records, sampling, routing, per-minute aggregation
+``repro.synth``    the synthetic ISP world (traces, attacks, campaigns)
+``repro.signals``  blocklists, history stores, clustering, 273 features
+``repro.detect``   CDet simulators (NetScout / FastNetMon) and CUSUM
+``repro.forest``   random-forest baseline (from-scratch CART/bagging)
+``repro.scrub``    CScrub accounting (effectiveness / overhead / delay)
+``repro.survival`` survival analysis and threshold calibration
+``repro.core``     the Xatu model, trainer, online detector, pipeline
+``repro.metrics``  summary statistics and ROC
+``repro.eval``     per-figure/table experiment runners
+"""
+
+__version__ = "1.0.0"
+
+from . import core, detect, forest, metrics, netflow, nn, scrub, signals, survival, synth
+
+__all__ = [
+    "nn", "netflow", "synth", "signals", "detect", "forest", "scrub",
+    "survival", "core", "metrics", "__version__",
+]

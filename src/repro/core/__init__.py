@@ -1,0 +1,26 @@
+"""Xatu core: the multi-timescale LSTM detector and its training pipeline."""
+
+from .dataset import DatasetBuilder, SampleSet, SurvivalSample
+from .detector import DetectorConfig, DetectionOutput, XatuAlert, XatuDetector
+from .model import TimescaleSpec, XatuModel, XatuModelConfig
+from .pipeline import (
+    PipelineConfig,
+    PipelineResult,
+    SplitSpec,
+    XatuPipeline,
+    alerts_to_records,
+)
+from .online import OnlineAlert, OnlineXatu
+from .registry import TypedModelEntry, XatuModelRegistry
+from .trainer import TrainConfig, TrainResult, XatuTrainer
+
+__all__ = [
+    "TimescaleSpec", "XatuModelConfig", "XatuModel",
+    "DatasetBuilder", "SampleSet", "SurvivalSample",
+    "TrainConfig", "TrainResult", "XatuTrainer",
+    "DetectorConfig", "DetectionOutput", "XatuAlert", "XatuDetector",
+    "SplitSpec", "PipelineConfig", "PipelineResult", "XatuPipeline",
+    "alerts_to_records",
+    "TypedModelEntry", "XatuModelRegistry",
+    "OnlineAlert", "OnlineXatu",
+]

@@ -1,0 +1,175 @@
+"""Training/validation sample construction (§5.3).
+
+"To form the training data, we select an equal number of attack and
+non-attack time series based on CDet alerts" — each sample is a feature
+window ending at (or just after) a CDet detection (attack series, label
+``c=1`` at the detection step) or at a quiet minute (non-attack series,
+``c=0``).  The survival label time ``t_i`` indexes into the model's
+detection window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detect.detectors import DetectionAlert
+from ..signals.features import FeatureExtractor, FeatureScaler
+from ..synth.scenario import Trace
+from .model import XatuModelConfig
+
+__all__ = ["SurvivalSample", "SampleSet", "DatasetBuilder"]
+
+
+@dataclass
+class SurvivalSample:
+    """One (features, c, t) series for the SAFE loss."""
+
+    features: np.ndarray  # (lookback, 273), already scaled if from SampleSet
+    is_attack: bool
+    label_time: int  # index within the detection window
+    customer_id: int
+    end_minute: int  # trace minute of the window's last step
+    event_id: int  # ground-truth event (-1 for non-attack samples)
+    attack_type: str | None = None
+
+
+@dataclass
+class SampleSet:
+    """A batchable set of samples plus the scaler that normalized them."""
+
+    samples: list[SurvivalSample]
+    scaler: FeatureScaler
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        x = np.stack([s.features for s in self.samples])
+        c = np.array([s.is_attack for s in self.samples], dtype=np.float64)
+        t = np.array([s.label_time for s in self.samples], dtype=np.int64)
+        return x, c, t
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class DatasetBuilder:
+    """Builds balanced survival datasets from a trace + CDet alert stream."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        extractor: FeatureExtractor,
+        model_config: XatuModelConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.trace = trace
+        self.extractor = extractor
+        self.model_config = model_config
+        self._rng = rng or np.random.default_rng(0)
+
+    # ------------------------------------------------------------------
+    def _attack_sample(self, alert: DetectionAlert) -> SurvivalSample | None:
+        """Window ending at the alert's detection minute; label = last step."""
+        cfg = self.model_config
+        lookback = cfg.lookback_minutes
+        end = alert.detect_minute + 1
+        start = end - lookback
+        if start < 0 or end > self.trace.horizon:
+            return None
+        features = self.extractor.window(alert.customer_id, start, end)
+        event = (
+            self.trace.events[alert.event_id] if alert.event_id >= 0 else None
+        )
+        return SurvivalSample(
+            features=features,
+            is_attack=True,
+            label_time=cfg.detect_window - 1,
+            customer_id=alert.customer_id,
+            end_minute=end - 1,
+            event_id=alert.event_id,
+            attack_type=event.attack_type.value if event else None,
+        )
+
+    def _quiet_minutes(self, customer_id: int, margin: int) -> np.ndarray:
+        """Minutes with no attack on ``customer_id`` within ``margin``."""
+        mask = np.ones(self.trace.horizon, dtype=bool)
+        for event in self.trace.events:
+            if event.customer_id != customer_id:
+                continue
+            lo = max(0, event.onset - margin)
+            hi = min(self.trace.horizon, event.end + margin)
+            mask[lo:hi] = False
+        lookback = self.model_config.lookback_minutes
+        mask[:lookback] = False
+        return np.nonzero(mask)[0]
+
+    def _non_attack_sample(
+        self, customer_id: int, end_minute: int
+    ) -> SurvivalSample:
+        cfg = self.model_config
+        start = end_minute + 1 - cfg.lookback_minutes
+        features = self.extractor.window(customer_id, start, end_minute + 1)
+        return SurvivalSample(
+            features=features,
+            is_attack=False,
+            label_time=cfg.detect_window - 1,
+            customer_id=customer_id,
+            end_minute=end_minute,
+            event_id=-1,
+        )
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        alerts: list[DetectionAlert],
+        minute_range: tuple[int, int],
+        attack_types: set[str] | None = None,
+        scaler: FeatureScaler | None = None,
+        negatives_per_positive: float = 1.0,
+        quiet_margin: int = 30,
+    ) -> SampleSet:
+        """Assemble a balanced sample set over ``minute_range``.
+
+        ``attack_types`` restricts positives (per-type models, §5.3); pass
+        a pre-fit ``scaler`` to reuse training statistics on validation
+        data.
+        """
+        lo, hi = minute_range
+        positives: list[SurvivalSample] = []
+        for alert in alerts:
+            if not lo <= alert.detect_minute < hi:
+                continue
+            if alert.event_id < 0:
+                continue
+            event = self.trace.events[alert.event_id]
+            if attack_types is not None and event.attack_type.value not in attack_types:
+                continue
+            sample = self._attack_sample(alert)
+            if sample is not None:
+                positives.append(sample)
+
+        negatives: list[SurvivalSample] = []
+        n_neg = max(1, int(round(negatives_per_positive * max(1, len(positives)))))
+        customers = [c.customer_id for c in self.trace.world.customers]
+        attempts = 0
+        while len(negatives) < n_neg and attempts < 20 * n_neg:
+            attempts += 1
+            cid = int(self._rng.choice(customers))
+            quiet = self._quiet_minutes(cid, margin=quiet_margin)
+            quiet = quiet[(quiet >= lo) & (quiet < hi)]
+            if len(quiet) == 0:
+                continue
+            minute = int(self._rng.choice(quiet))
+            negatives.append(self._non_attack_sample(cid, minute))
+
+        samples = positives + negatives
+        if not samples:
+            raise ValueError(
+                "no samples in range; check the alert stream and split bounds"
+            )
+        if scaler is None:
+            scaler = FeatureScaler().fit([s.features for s in samples])
+        for sample in samples:
+            sample.features = scaler.transform(sample.features)
+        self._rng.shuffle(samples)
+        return SampleSet(samples=samples, scaler=scaler)

@@ -1,0 +1,272 @@
+"""Online detection: sliding survival windows over the test period.
+
+At each minute the deployed Xatu computes the hazard ``lambda_t`` and the
+survival probability over the current detection window; an alert fires when
+``S_t`` drops below the calibrated threshold.  Operation is auto-regressive
+(§5.3): Xatu's own alerts feed the A2/A4/A5 stores going forward, making
+the test phase independent of the incumbent CDet.
+
+For evaluation efficiency the detector runs one forward pass per
+``detect_window`` minutes per customer (each pass yields hazards for all
+minutes of the window), then applies the rolling-sum survival rule per
+minute — numerically identical to a per-minute evaluation of ``S_t`` over
+the trailing window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..scrub.center import DiversionWindow
+from ..signals.features import FeatureExtractor, FeatureScaler
+from ..signals.history import AlertRecord
+from ..synth.scenario import Trace
+from .model import XatuModel
+
+__all__ = ["XatuAlert", "DetectorConfig", "XatuDetector", "match_event", "windows_from_hazards"]
+
+
+def match_event(trace: Trace, customer_id: int, minute: int, window: int) -> int:
+    """Ground-truth event matching an alert minute (-1 = none).
+
+    An alert matches an event if it fires between (onset - window) and the
+    event end — early detections shortly before onset count as hits on that
+    event (exactly the "detect prior to the attack" behaviour the paper's
+    survival formulation rewards).
+    """
+    best = -1
+    best_onset = -1
+    for event in trace.events:
+        if event.customer_id != customer_id:
+            continue
+        if event.onset - window <= minute < event.end:
+            if event.onset > best_onset:
+                best = event.event_id
+                best_onset = event.onset
+    return best
+
+
+def windows_from_hazards(
+    trace: Trace,
+    hazard_series: dict[int, np.ndarray],
+    minute_range: tuple[int, int],
+    detect_window: int,
+    threshold: float,
+    max_fp_diversion: int = 10,
+) -> list[DiversionWindow]:
+    """Apply the survival alert rule to stored hazards → diversion windows.
+
+    The rule is the paper's: alert when the rolling survival over the
+    trailing ``detect_window`` minutes drops below ``threshold``; a matched
+    alert diverts until the event's mitigation end, an unmatched one for
+    ``max_fp_diversion`` minutes.  This is the single shared implementation
+    behind the pipeline, the headline sweep, and the ablation harness, so a
+    threshold re-sweep never re-runs the expensive model forwards.
+    """
+    lo, hi = minute_range
+    result: list[DiversionWindow] = []
+    for cid, hazards in hazard_series.items():
+        csum = np.concatenate([[0.0], np.cumsum(hazards)])
+        minute = lo
+        while minute < hi:
+            i = minute - lo
+            lo_idx = max(0, i + 1 - detect_window)
+            s_t = float(np.exp(-(csum[i + 1] - csum[lo_idx])))
+            if s_t < threshold:
+                event_id = match_event(trace, cid, minute, detect_window)
+                if event_id >= 0:
+                    end = min(hi, max(trace.events[event_id].end, minute + 1))
+                else:
+                    end = min(hi, minute + max_fp_diversion)
+                result.append(DiversionWindow(cid, minute, end))
+                minute = end
+            else:
+                minute += 1
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class XatuAlert:
+    """One early-detection alert emitted by Xatu."""
+
+    customer_id: int
+    minute: int
+    survival: float
+    event_id: int  # matched ground-truth event, -1 for false positives
+
+
+@dataclass
+class DetectorConfig:
+    """Online-operation knobs.
+
+    ``thresholds_by_key`` overrides ``threshold`` per model key when the
+    detector serves per-attack-type models (§5.3: each typed model gets its
+    own validation-calibrated threshold); keys missing from the mapping
+    fall back to ``threshold``.
+    """
+
+    threshold: float = 0.5
+    max_fp_diversion: int = 10  # minutes a false-positive diversion lasts
+    autoregressive: bool = True
+    thresholds_by_key: dict[str, float] | None = None
+
+
+@dataclass
+class DetectionOutput:
+    """Everything the evaluation needs from one detector run."""
+
+    alerts: list[XatuAlert] = field(default_factory=list)
+    windows: list[DiversionWindow] = field(default_factory=list)
+    # per (customer, minute): hazard — used for ROC-style sweeps.
+    hazard_series: dict[int, np.ndarray] = field(default_factory=dict)
+
+    def survival_series(self, customer_id: int, detect_window: int) -> np.ndarray:
+        """Rolling ``S_t`` over the trailing window, from stored hazards."""
+        hazards = self.hazard_series[customer_id]
+        csum = np.concatenate([[0.0], np.cumsum(hazards)])
+        rolling = csum[detect_window:] - csum[:-detect_window]
+        head = csum[1:detect_window]  # partial windows at the start
+        return np.exp(-np.concatenate([head, rolling]))
+
+
+class XatuDetector:
+    """Runs trained models over a minute range of a trace."""
+
+    def __init__(
+        self,
+        trace: Trace,
+        extractor: FeatureExtractor,
+        model: XatuModel | dict[str, XatuModel],
+        scaler: FeatureScaler | dict[str, FeatureScaler],
+        config: DetectorConfig | None = None,
+    ) -> None:
+        self.trace = trace
+        self.extractor = extractor
+        self.config = config or DetectorConfig()
+        if isinstance(model, dict) != isinstance(scaler, dict):
+            raise ValueError("model and scaler must both be single or per-type")
+        self._models = model
+        self._scalers = scaler
+
+    # ------------------------------------------------------------------
+    def serving_key(self, customer_id: int) -> str:
+        """The model key serving a customer (its most recent attack type).
+
+        With per-type models the deployed system runs all of them in
+        parallel; for evaluation we use the model of the customer's most
+        recent attack type, falling back to the pooled ``_default``.
+        """
+        if not isinstance(self._models, dict):
+            return "_single"
+        last_type: str | None = None
+        for event in self.trace.events:
+            if event.customer_id == customer_id:
+                last_type = event.attack_type.value
+        return last_type if last_type in self._models else "_default"
+
+    def _model_for(self, customer_id: int) -> tuple[XatuModel, FeatureScaler]:
+        """Pick the (model, scaler) pair for a customer."""
+        if not isinstance(self._models, dict):
+            return self._models, self._scalers  # type: ignore[return-value]
+        key = self.serving_key(customer_id)
+        return self._models[key], self._scalers[key]
+
+    def threshold_for(self, customer_id: int) -> float:
+        """The alert threshold applying to a customer's serving model."""
+        overrides = self.config.thresholds_by_key
+        if overrides:
+            key = self.serving_key(customer_id)
+            if key in overrides:
+                return overrides[key]
+        return self.config.threshold
+
+    def _match_event(self, customer_id: int, minute: int) -> int:
+        """Ground-truth event matching an alert minute (-1 = none)."""
+        return match_event(self.trace, customer_id, minute, self._detect_window())
+
+    def _detect_window(self) -> int:
+        model = (
+            self._models["_default"]
+            if isinstance(self._models, dict)
+            else self._models
+        )
+        return model.config.detect_window
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        minute_range: tuple[int, int],
+        customers: list[int] | None = None,
+    ) -> DetectionOutput:
+        """Detect over ``[lo, hi)`` for the given customers (default: all).
+
+        Processing is chronological in blocks of ``detect_window`` minutes
+        across all customers, so autoregressive alert feedback from one
+        customer is visible to others' A5 features within the same run.
+        """
+        lo, hi = minute_range
+        cfg = self.config
+        window = self._detect_window()
+        if customers is None:
+            customers = [c.customer_id for c in self.trace.world.customers]
+
+        hazard_series = {cid: np.zeros(hi - lo) for cid in customers}
+        alerts: list[XatuAlert] = []
+        windows: list[DiversionWindow] = []
+        # Per customer: minute until which diversion is already active.
+        diverted_until: dict[int, int] = {cid: -1 for cid in customers}
+
+        for block_start in range(lo, hi, window):
+            block_end = min(block_start + window, hi)
+            for cid in customers:
+                model, scaler = self._model_for(cid)
+                feat_end = block_start + window  # model emits last `window` steps
+                feat_start = feat_end - model.config.lookback_minutes
+                if feat_start < 0:
+                    continue
+                raw = self.extractor.window(cid, feat_start, feat_end)
+                x = scaler.transform(raw)[None, :, :]
+                hazards = model.hazards_np(x)[0]
+                n_keep = block_end - block_start
+                hazard_series[cid][block_start - lo : block_end - lo] = hazards[:n_keep]
+
+            # Alert pass for this block (after all hazards are in).
+            for cid in customers:
+                series = hazard_series[cid][: block_end - lo]
+                csum = np.concatenate([[0.0], np.cumsum(series)])
+                customer_threshold = self.threshold_for(cid)
+                for minute in range(block_start, block_end):
+                    i = minute - lo
+                    if minute <= diverted_until[cid]:
+                        continue
+                    lo_idx = max(0, i + 1 - window)
+                    s_t = float(np.exp(-(csum[i + 1] - csum[lo_idx])))
+                    if s_t >= customer_threshold:
+                        continue
+                    event_id = self._match_event(cid, minute)
+                    alerts.append(XatuAlert(cid, minute, s_t, event_id))
+                    if event_id >= 0:
+                        event = self.trace.events[event_id]
+                        end = min(hi, event.end)
+                        # Diversion runs until CScrub's mitigation end.
+                        end = max(end, minute + 1)
+                    else:
+                        end = min(hi, minute + cfg.max_fp_diversion)
+                    windows.append(DiversionWindow(cid, minute, end))
+                    diverted_until[cid] = end - 1
+                    if cfg.autoregressive and event_id >= 0:
+                        event = self.trace.events[event_id]
+                        self.extractor.add_alert(
+                            AlertRecord(
+                                customer_id=cid,
+                                attack_type=event.attack_type,
+                                detect_minute=minute,
+                                end_minute=end,
+                                peak_bytes=event.peak_bytes,
+                                attackers=frozenset(event.attackers),
+                            )
+                        )
+        output = DetectionOutput(alerts=alerts, windows=windows, hazard_series=hazard_series)
+        return output

@@ -1,0 +1,175 @@
+"""The Xatu model: multi-timescale LSTM with a survival (hazard) head.
+
+Figure 6 of the paper: the 273-feature minute series is pooled at three
+granularities (1 / 10 / 60 minutes), each pooled series feeds its own LSTM
+(LSTM_short / LSTM_med / LSTM_long), per-scale dense layers project the
+hidden states, the projections are combined by a final dense layer, and the
+output is the instantaneous attack probability (hazard rate) ``lambda_t``
+for each minute of the detection window.  The survival head converts the
+hazards to ``S_t`` (§4.2).
+
+Each timescale also has its own *span*: LSTM_short sees recent hours at
+1-minute resolution while LSTM_long sees the whole 10-day history at
+1-hour resolution (Figure 11 visualizes exactly this: a 4-hour short view
+and a 40-hour medium view).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import LSTM, AvgPool1D, Dense, MaxPool1D, Module, Tensor
+from ..survival.analysis import hazards_to_survival_np
+
+__all__ = ["TimescaleSpec", "XatuModelConfig", "XatuModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class TimescaleSpec:
+    """One timescale: pooling window (minutes/step) and span (steps).
+
+    The LSTM for this scale consumes the most recent ``window * span``
+    minutes, pooled into ``span`` steps of ``window`` minutes each.
+    """
+
+    name: str
+    window: int
+    span: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.span < 1:
+            raise ValueError("window and span must be >= 1")
+
+    @property
+    def minutes(self) -> int:
+        return self.window * self.span
+
+
+@dataclass
+class XatuModelConfig:
+    """Architecture hyper-parameters (paper defaults in §5.3 / Appendix H).
+
+    The paper uses hidden size 200 and timescales (1, 10, 60); the
+    reproduction defaults are laptop-scale but fully configurable — the
+    Figure 18 sensitivity benches sweep them.
+    """
+
+    n_features: int = 273
+    hidden_size: int = 32
+    dense_size: int = 16
+    detect_window: int = 30  # N in §5.3
+    timescales: tuple[TimescaleSpec, ...] = (
+        TimescaleSpec("short", 1, 120),
+        TimescaleSpec("medium", 10, 72),
+        TimescaleSpec("long", 60, 48),
+    )
+    pooling: str = "avg"  # "avg" (paper default) or "max" — ablation knob
+    seed: int = 0
+
+    @property
+    def lookback_minutes(self) -> int:
+        """Input window length required by the longest timescale."""
+        return max(ts.minutes for ts in self.timescales)
+
+    def validate(self) -> None:
+        if self.detect_window < 1:
+            raise ValueError("detect_window must be >= 1")
+        if not self.timescales:
+            raise ValueError("at least one timescale is required")
+        shortest = min(ts.window for ts in self.timescales)
+        if self.detect_window > self.timescales[0].span * self.timescales[0].window:
+            raise ValueError("detect_window exceeds the first timescale's span")
+        if shortest != self.timescales[0].window:
+            raise ValueError(
+                "the first timescale must be the finest (it drives the "
+                "per-minute hazard output)"
+            )
+        if self.pooling not in ("avg", "max"):
+            raise ValueError("pooling must be 'avg' or 'max'")
+
+
+class XatuModel(Module):
+    """Multi-timescale LSTM → dense combine → hazard rates.
+
+    ``forward`` takes ``(batch, lookback_minutes, n_features)`` and returns
+    hazards of shape ``(batch, detect_window)`` for the *last*
+    ``detect_window`` minutes of the input.
+    """
+
+    def __init__(self, config: XatuModelConfig | None = None) -> None:
+        cfg = config or XatuModelConfig()
+        cfg.validate()
+        self.config = cfg
+        rng = np.random.default_rng(cfg.seed)
+        pool_cls = AvgPool1D if cfg.pooling == "avg" else MaxPool1D
+        self.pools = [pool_cls(ts.window) for ts in cfg.timescales]
+        self.lstms = [
+            LSTM(cfg.n_features, cfg.hidden_size, rng=rng) for _ts in cfg.timescales
+        ]
+        self.scale_dense = [
+            Dense(cfg.hidden_size, cfg.dense_size, activation="tanh", rng=rng)
+            for _ts in cfg.timescales
+        ]
+        self.combine = Dense(
+            cfg.dense_size * len(cfg.timescales), 1, activation="softplus", rng=rng
+        )
+        # Start the hazard head cold: softplus(-4) ~ 0.018/minute, so the
+        # untrained model's survival stays near 1 instead of alerting on
+        # everything (softplus(0) ~ 0.69/min would drive S_30 to ~1e-9).
+        self.combine.bias.data[...] = -4.0
+
+    # ------------------------------------------------------------------
+    def _scale_indices(self, total_minutes: int) -> list[np.ndarray]:
+        """Pooled-step index for each detection-window minute, per scale."""
+        cfg = self.config
+        out = []
+        detect_minutes = np.arange(
+            total_minutes - cfg.detect_window, total_minutes
+        )
+        for ts in cfg.timescales:
+            scale_start = total_minutes - ts.minutes  # first minute this scale sees
+            idx = (detect_minutes - scale_start) // ts.window
+            idx = np.clip(idx, 0, ts.span - 1)
+            out.append(idx.astype(np.int64))
+        return out
+
+    def forward(self, x: Tensor) -> Tensor:
+        cfg = self.config
+        batch, total_minutes, n_features = x.shape
+        if n_features != cfg.n_features:
+            raise ValueError(
+                f"expected {cfg.n_features} features, got {n_features}"
+            )
+        if total_minutes < cfg.lookback_minutes:
+            raise ValueError(
+                f"input window of {total_minutes} min is shorter than the "
+                f"required lookback of {cfg.lookback_minutes} min"
+            )
+
+        indices = self._scale_indices(total_minutes)
+        projections: list[Tensor] = []
+        for ts, pool, lstm, dense, idx in zip(
+            cfg.timescales, self.pools, self.lstms, self.scale_dense, indices
+        ):
+            recent = x[:, total_minutes - ts.minutes :, :]
+            pooled = pool(recent)  # (batch, span, features)
+            hidden, _state = lstm(pooled)  # (batch, span, hidden)
+            selected = hidden[:, idx, :]  # (batch, detect_window, hidden)
+            projections.append(dense(selected))
+        combined = Tensor.concat(projections, axis=-1)
+        hazards = self.combine(combined)  # (batch, detect_window, 1)
+        return hazards.reshape(batch, cfg.detect_window)
+
+    # ------------------------------------------------------------------
+    def hazards_np(self, x: np.ndarray) -> np.ndarray:
+        """Inference: hazards as a plain array (no autograd tape)."""
+        from ..nn import no_grad
+
+        with no_grad():
+            return self.forward(Tensor(x)).numpy()
+
+    def survival_np(self, x: np.ndarray) -> np.ndarray:
+        """Inference: the survival curve ``S_t`` over the detection window."""
+        return hazards_to_survival_np(self.hazards_np(x))

@@ -1,0 +1,245 @@
+"""Streaming deployment mode (§2.6): Xatu on live data feeds.
+
+The offline pipeline consumes a fully-materialized :class:`Trace`; a real
+deployment instead receives sampled NetFlow continuously, plus alert and
+mitigation-end notices from the incumbent defense.  :class:`OnlineXatu`
+implements that loop:
+
+* ``observe_minute(flows)`` ingests one minute of sampled flows for all
+  customers, tagging each flow's auxiliary source classes (blocklist
+  membership, previous attackers, spoof check) and folding it into an
+  internal :class:`~repro.netflow.TrafficMatrix`;
+* ``ingest_cdet_alert`` / ``ingest_mitigation_end`` maintain the A2/A4/A5
+  stores from the incumbent's feed (or from Xatu's own alerts);
+* every minute, the survival score of each watched customer is refreshed
+  and crossing alerts are emitted through ``poll_alerts()``.
+
+Bounded memory: feature state older than the model lookback plus a safety
+margin is discarded each minute.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netflow.matrix import (
+    SOURCE_CLASS_BLOCKLIST,
+    SOURCE_CLASS_PREV_ATTACKER,
+    SOURCE_CLASS_SPOOFED,
+    TrafficMatrix,
+)
+from ..netflow.records import FlowRecord
+from ..netflow.routing import RouteTable
+from ..signals.clustering import AttackerCustomerGraph
+from ..signals.features import N_FEATURES, FeatureScaler, group_slices
+from ..signals.history import AlertRecord, AttackHistoryStore, PreviousAttackerStore
+from ..synth.attacks import AttackType
+from .model import XatuModel
+
+__all__ = ["OnlineAlert", "OnlineXatu"]
+
+_CLASS_OF_GROUP = {
+    "V": "all",
+    "A1": SOURCE_CLASS_BLOCKLIST,
+    "A2": SOURCE_CLASS_PREV_ATTACKER,
+    "A3": SOURCE_CLASS_SPOOFED,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineAlert:
+    """An early-detection alert emitted by the streaming detector."""
+
+    customer_id: int
+    minute: int
+    survival: float
+
+
+class OnlineXatu:
+    """Minute-driven streaming detector around a trained model.
+
+    Parameters
+    ----------
+    model / scaler / threshold:
+        The trained artefacts (e.g. from a
+        :class:`~repro.core.registry.XatuModelRegistry` entry).
+    customer_of:
+        Maps destination address → customer id for incoming flows.
+    blocklist:
+        Object supporting ``addr in blocklist`` (A1 membership).
+    route_table:
+        Spoof classification source (A3).
+    base_rate_of:
+        Customer id → baseline bytes/minute, for A4 severity bucketing.
+    """
+
+    def __init__(
+        self,
+        model: XatuModel,
+        scaler: FeatureScaler,
+        threshold: float,
+        customer_of: dict[int, int],
+        blocklist,
+        route_table: RouteTable,
+        base_rate_of: dict[int, float] | None = None,
+        history_decay_minutes: float = 7 * 1440.0,
+        clustering_window: int = 60,
+        rearm_after: int = 10,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.model = model
+        self.scaler = scaler
+        self.threshold = threshold
+        self.customer_of = dict(customer_of)
+        self.blocklist = blocklist
+        self.route_table = route_table
+        self.base_rate_of = base_rate_of or {}
+        self.rearm_after = rearm_after
+
+        self.matrix = TrafficMatrix()
+        self.prev_attackers = PreviousAttackerStore()
+        self.history = AttackHistoryStore(decay_minutes=history_decay_minutes)
+        self.graph = AttackerCustomerGraph(window_minutes=clustering_window)
+        self._slices = group_slices()
+        self._minute = -1
+        self._hazards: dict[int, list[float]] = defaultdict(list)
+        self._suppressed_until: dict[int, int] = {}
+        self._pending: list[OnlineAlert] = []
+        self._spoof_cache: dict[int, bool] = {}
+        self._watched: set[int] = set(self.customer_of.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_registry(
+        cls,
+        registry,
+        attack_type: str | None,
+        customer_of: dict[int, int],
+        blocklist,
+        route_table: RouteTable,
+        **kwargs,
+    ) -> "OnlineXatu":
+        """Build a streaming detector from a trained
+        :class:`~repro.core.registry.XatuModelRegistry` entry (its model,
+        scaler, and calibrated threshold)."""
+        entry = registry.entry_for(attack_type)
+        return cls(
+            model=entry.model,
+            scaler=entry.scaler,
+            threshold=entry.threshold,
+            customer_of=customer_of,
+            blocklist=blocklist,
+            route_table=route_table,
+            **kwargs,
+        )
+
+    @property
+    def current_minute(self) -> int:
+        return self._minute
+
+    def ingest_cdet_alert(self, alert: AlertRecord) -> None:
+        """Feed one incumbent-defense (or Xatu self-) alert into the stores."""
+        self.prev_attackers.add_alert(alert)
+        self.history.add_alert(
+            alert, self.base_rate_of.get(alert.customer_id, 1.0)
+        )
+        self.graph.add_alert(alert.detect_minute, alert.customer_id, alert.attackers)
+
+    def ingest_mitigation_end(self, customer_id: int, minute: int) -> None:
+        """CScrub mitigation-end notice: re-arm detection for the customer."""
+        self._suppressed_until[customer_id] = minute
+
+    # ------------------------------------------------------------------
+    def _classify(self, customer_id: int, flow: FlowRecord) -> list[str]:
+        classes: list[str] = []
+        if flow.src_addr in self.blocklist:
+            classes.append(SOURCE_CLASS_BLOCKLIST)
+        if self.prev_attackers.is_previous_attacker(
+            customer_id, flow.src_addr, flow.timestamp
+        ):
+            classes.append(SOURCE_CLASS_PREV_ATTACKER)
+        spoofed = self._spoof_cache.get(flow.src_addr)
+        if spoofed is None:
+            spoofed = self.route_table.is_spoofed(flow.src_addr)
+            self._spoof_cache[flow.src_addr] = spoofed
+        if spoofed:
+            classes.append(SOURCE_CLASS_SPOOFED)
+        return classes
+
+    def _feature_window(self, customer_id: int, end_minute: int) -> np.ndarray:
+        lookback = self.model.config.lookback_minutes
+        start = end_minute + 1 - lookback
+        block = np.zeros((lookback, N_FEATURES))
+        if start < 0:
+            pad = -start
+            start = 0
+        else:
+            pad = 0
+        span = end_minute + 1 - start
+        for group, cls in _CLASS_OF_GROUP.items():
+            block[pad:, self._slices[group]] = self.matrix.feature_block(
+                customer_id, start, end_minute + 1, cls
+            )[:span]
+        block[pad:, self._slices["A4"]] = self.history.feature_block(
+            customer_id, start, end_minute + 1
+        )[:span]
+        block[pad:, self._slices["A5"]] = self.graph.feature_block(
+            customer_id, start, end_minute + 1
+        )[:span]
+        return block
+
+    def _survival(self, customer_id: int) -> float:
+        window = self.model.config.detect_window
+        recent = self._hazards[customer_id][-window:]
+        return float(np.exp(-np.sum(recent))) if recent else 1.0
+
+    # ------------------------------------------------------------------
+    def observe_minute(
+        self, minute: int, flows: list[FlowRecord]
+    ) -> list[OnlineAlert]:
+        """Ingest one minute of flows and return any new alerts.
+
+        ``minute`` must advance monotonically; quiet customers still get a
+        hazard evaluation (absence of traffic is signal too).
+        """
+        if minute <= self._minute:
+            raise ValueError(
+                f"minutes must advance: got {minute} after {self._minute}"
+            )
+        self._minute = minute
+        for flow in flows:
+            customer_id = self.customer_of.get(flow.dst_addr)
+            if customer_id is None:
+                continue
+            self._watched.add(customer_id)
+            self.matrix.add_flow(customer_id, flow, self._classify(customer_id, flow))
+
+        alerts: list[OnlineAlert] = []
+        detect_window = self.model.config.detect_window
+        for customer_id in sorted(self._watched):
+            window = self._feature_window(customer_id, minute)
+            x = self.scaler.transform(window)[None, :, :]
+            hazards = self.model.hazards_np(x)[0]
+            self._hazards[customer_id].append(float(hazards[-1]))
+            # Keep bounded memory for the rolling survival computation.
+            if len(self._hazards[customer_id]) > 4 * detect_window:
+                self._hazards[customer_id] = self._hazards[customer_id][-2 * detect_window:]
+            if minute < self._suppressed_until.get(customer_id, -1):
+                continue
+            survival = self._survival(customer_id)
+            if survival < self.threshold:
+                alerts.append(OnlineAlert(customer_id, minute, survival))
+                # Suppress re-alerting until re-armed (CScrub notice or
+                # rearm_after minutes, whichever first).
+                self._suppressed_until[customer_id] = minute + self.rearm_after
+        self._pending.extend(alerts)
+        return alerts
+
+    def poll_alerts(self) -> list[OnlineAlert]:
+        """Drain alerts accumulated since the last poll."""
+        pending, self._pending = self._pending, []
+        return pending

@@ -1,0 +1,198 @@
+"""Per-attack-type model registry (§5.3).
+
+"Xatu trains separate models for each attack type and evaluates them
+correspondingly."  The registry trains one model per attack type with
+enough labeled events, plus a pooled ``_default`` model covering rare
+types, and persists/restores the whole set (weights + scaler statistics +
+calibrated thresholds) to a directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..detect.detectors import DetectionAlert
+from ..nn.serialization import load_state, save_module
+from ..signals.features import FeatureExtractor, FeatureScaler
+from ..synth.attacks import AttackType
+from ..synth.scenario import Trace
+from .dataset import DatasetBuilder
+from .model import TimescaleSpec, XatuModel, XatuModelConfig
+from .trainer import TrainConfig, TrainResult, XatuTrainer
+
+__all__ = ["TypedModelEntry", "XatuModelRegistry"]
+
+DEFAULT_KEY = "_default"
+
+
+@dataclass
+class TypedModelEntry:
+    """One trained model plus its scaler and calibrated threshold."""
+
+    model: XatuModel
+    scaler: FeatureScaler
+    threshold: float = 0.5
+    n_train_events: int = 0
+    train_result: TrainResult | None = None
+
+
+def _model_config_to_meta(cfg: XatuModelConfig) -> dict:
+    return {
+        "n_features": cfg.n_features,
+        "hidden_size": cfg.hidden_size,
+        "dense_size": cfg.dense_size,
+        "detect_window": cfg.detect_window,
+        "seed": cfg.seed,
+        "timescales": [[ts.name, ts.window, ts.span] for ts in cfg.timescales],
+    }
+
+
+def _model_config_from_meta(meta: dict) -> XatuModelConfig:
+    return XatuModelConfig(
+        n_features=meta["n_features"],
+        hidden_size=meta["hidden_size"],
+        dense_size=meta["dense_size"],
+        detect_window=meta["detect_window"],
+        seed=meta.get("seed", 0),
+        timescales=tuple(
+            TimescaleSpec(name, window, span)
+            for name, window, span in meta["timescales"]
+        ),
+    )
+
+
+class XatuModelRegistry:
+    """Trains, stores, and serves per-attack-type Xatu models."""
+
+    def __init__(self, model_config: XatuModelConfig, train_config: TrainConfig) -> None:
+        self.model_config = model_config
+        self.train_config = train_config
+        self.entries: dict[str, TypedModelEntry] = {}
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        trace: Trace,
+        extractor: FeatureExtractor,
+        alerts: list[DetectionAlert],
+        train_range: tuple[int, int],
+        val_range: tuple[int, int] | None = None,
+        min_events_per_type: int = 4,
+        seed: int = 0,
+    ) -> dict[str, TypedModelEntry]:
+        """Fit one model per sufficiently-frequent type plus the pooled default.
+
+        Types with fewer than ``min_events_per_type`` labeled training
+        events fall through to the ``_default`` model at serving time.
+        """
+        lo, hi = train_range
+        counts: dict[str, int] = {}
+        for alert in alerts:
+            if alert.event_id >= 0 and lo <= alert.detect_minute < hi:
+                name = trace.events[alert.event_id].attack_type.value
+                counts[name] = counts.get(name, 0) + 1
+
+        builder = DatasetBuilder(
+            trace, extractor, self.model_config, rng=np.random.default_rng(seed)
+        )
+
+        def fit(attack_types: set[str] | None, n_events: int) -> TypedModelEntry:
+            train_set = builder.build(alerts, train_range, attack_types=attack_types)
+            val_set = None
+            if val_range is not None:
+                try:
+                    val_set = builder.build(
+                        alerts, val_range, attack_types=attack_types,
+                        scaler=train_set.scaler,
+                    )
+                except ValueError:
+                    val_set = None
+            model = XatuModel(self.model_config)
+            result = XatuTrainer(model, self.train_config).fit(train_set, val_set)
+            return TypedModelEntry(
+                model=model,
+                scaler=train_set.scaler,
+                n_train_events=n_events,
+                train_result=result,
+            )
+
+        self.entries = {DEFAULT_KEY: fit(None, sum(counts.values()))}
+        for type_name, n in counts.items():
+            if n >= min_events_per_type:
+                self.entries[type_name] = fit({type_name}, n)
+        return self.entries
+
+    # ------------------------------------------------------------------
+    def entry_for(self, attack_type: AttackType | str | None) -> TypedModelEntry:
+        """The model serving a given attack type (pooled default fallback)."""
+        if not self.entries:
+            raise RuntimeError("registry has no trained models")
+        key = (
+            attack_type.value
+            if isinstance(attack_type, AttackType)
+            else (attack_type or DEFAULT_KEY)
+        )
+        return self.entries.get(key, self.entries[DEFAULT_KEY])
+
+    def set_threshold(self, key: str, threshold: float) -> None:
+        if key not in self.entries:
+            raise KeyError(f"no model for {key!r}")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.entries[key].threshold = threshold
+
+    def models_dict(self) -> dict[str, XatuModel]:
+        """{key: model} in the shape `XatuDetector` accepts."""
+        return {k: e.model for k, e in self.entries.items()}
+
+    def scalers_dict(self) -> dict[str, FeatureScaler]:
+        return {k: e.scaler for k, e in self.entries.items()}
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist every entry (weights, scaler, threshold) under a directory."""
+        if not self.entries:
+            raise RuntimeError("nothing to save: registry is untrained")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "model_config": _model_config_to_meta(self.model_config),
+            "entries": {},
+        }
+        for key, entry in self.entries.items():
+            save_module(entry.model, directory / f"{key}.npz")
+            np.savez(directory / f"{key}.scaler.npz", **entry.scaler.state_dict())
+            manifest["entries"][key] = {
+                "threshold": entry.threshold,
+                "n_train_events": entry.n_train_events,
+            }
+        (directory / "manifest.json").write_text(json.dumps(manifest, indent=2))
+        return directory
+
+    @classmethod
+    def load(
+        cls, directory: str | Path, train_config: TrainConfig | None = None
+    ) -> "XatuModelRegistry":
+        """Restore a registry saved with :meth:`save`."""
+        directory = Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        model_config = _model_config_from_meta(manifest["model_config"])
+        registry = cls(model_config, train_config or TrainConfig())
+        for key, meta in manifest["entries"].items():
+            model = XatuModel(model_config)
+            state, _ = load_state(directory / f"{key}.npz")
+            model.load_state_dict(state)
+            scaler = FeatureScaler()
+            with np.load(directory / f"{key}.scaler.npz") as archive:
+                scaler.load_state_dict({k: archive[k] for k in archive.files})
+            registry.entries[key] = TypedModelEntry(
+                model=model,
+                scaler=scaler,
+                threshold=meta["threshold"],
+                n_train_events=meta["n_train_events"],
+            )
+        return registry

@@ -1,0 +1,11 @@
+"""CDet substrates: CUSUM labeling plus NetScout/FastNetMon simulators."""
+
+from .cusum import NUMSTD_BY_TYPE, anomaly_start, cusum_detect, cusum_scores
+from .detectors import DetectionAlert, Detector, FastNetMonDetector, NetScoutDetector
+from .entropy import EntropyDetector, distribution_entropy
+
+__all__ = [
+    "cusum_scores", "cusum_detect", "anomaly_start", "NUMSTD_BY_TYPE",
+    "DetectionAlert", "Detector", "NetScoutDetector", "FastNetMonDetector",
+    "EntropyDetector", "distribution_entropy",
+]

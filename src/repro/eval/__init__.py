@@ -1,0 +1,57 @@
+"""Per-figure/table experiment runners (see DESIGN.md for the index)."""
+
+from .ablation import STANDARD_VARIANTS, AblationExperiment, AblationResult, AblationVariant
+from .analysis import (
+    FalsePositiveVerdict,
+    GeneralitySplit,
+    classify_false_positives,
+    generality_split,
+)
+from .attribution import GradientAttribution, input_gradients
+from .blocklist_breakdown import CategoryResult, run_blocklist_breakdown
+from .census import (
+    PrepSignalCensus,
+    attacker_activity_by_day,
+    clustering_timeline,
+    prep_signal_census,
+    same_type_share,
+    split_table,
+    transition_matrix,
+)
+from .headline import HeadlineExperiment, RocPoint, SystemMetrics
+from .naive_early import NaiveEarlyPoint, run_naive_early
+from .presets import (
+    bench_model_config,
+    bench_pipeline_config,
+    bench_scenario,
+    bench_train_config,
+    full_scenario,
+    tiny_scenario,
+)
+from .report import build_report
+from .rf_baseline import RFBaseline, rf_features_from_window
+from .robustness import RobustnessPoint, run_rate_sweep, run_volume_sweep
+from .scale import PAPER_SCENARIO, compress_scenario, scale_model_for
+from .sensitivity import SensitivityExperiment, SensitivityPoint
+from .tables import format_value, render_series, render_table
+
+__all__ = [
+    "AblationExperiment", "AblationResult", "AblationVariant", "STANDARD_VARIANTS",
+    "GradientAttribution", "input_gradients",
+    "CategoryResult", "run_blocklist_breakdown",
+    "PrepSignalCensus", "prep_signal_census", "transition_matrix",
+    "attacker_activity_by_day", "clustering_timeline", "split_table",
+    "same_type_share",
+    "HeadlineExperiment", "SystemMetrics", "RocPoint",
+    "NaiveEarlyPoint", "run_naive_early",
+    "tiny_scenario", "bench_scenario", "full_scenario",
+    "bench_model_config", "bench_train_config", "bench_pipeline_config",
+    "RFBaseline", "rf_features_from_window",
+    "RobustnessPoint", "run_volume_sweep", "run_rate_sweep",
+    "SensitivityExperiment", "SensitivityPoint",
+    "render_table", "render_series", "format_value",
+    "build_report",
+    "FalsePositiveVerdict", "classify_false_positives",
+    "GeneralitySplit", "generality_split",
+    "PAPER_SCENARIO", "compress_scenario", "scale_model_for",
+]

@@ -1,0 +1,101 @@
+"""Standard laptop-scale experiment presets.
+
+The paper's evaluation runs on 100 days of ISP traffic with a 200-hidden-
+unit model.  Every figure here is regenerated on a *compressed replica*:
+days of 120 minutes, a 10x-smaller world, and a smaller LSTM.  The presets
+keep ratios (split fractions, prep lookback relative to horizon, timescale
+ordering) aligned with the paper so the qualitative shapes carry over.
+
+``tiny`` is for unit tests, ``bench`` for the benchmark harness, ``full``
+for a closer-to-paper overnight run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..core.model import TimescaleSpec, XatuModelConfig
+from ..core.pipeline import PipelineConfig, SplitSpec
+from ..core.trainer import TrainConfig
+from ..synth.scenario import ScenarioConfig
+
+__all__ = ["tiny_scenario", "bench_scenario", "full_scenario", "bench_pipeline_config"]
+
+
+def tiny_scenario(seed: int = 3) -> ScenarioConfig:
+    """Smallest scenario that still trains: ~10-30 attacks."""
+    return ScenarioConfig(
+        total_days=16,
+        minutes_per_day=120,
+        prep_days=2,
+        n_customers=8,
+        n_botnets=4,
+        botnet_size=100,
+        campaigns_per_botnet=2,
+        seed=seed,
+    )
+
+
+def bench_scenario(seed: int = 3) -> ScenarioConfig:
+    """The default benchmark scenario: ~40-80 attacks across 6 types."""
+    return ScenarioConfig(
+        total_days=24,
+        minutes_per_day=120,
+        prep_days=2,
+        n_customers=12,
+        n_botnets=6,
+        botnet_size=150,
+        campaigns_per_botnet=2,
+        seed=seed,
+    )
+
+
+def full_scenario(seed: int = 3) -> ScenarioConfig:
+    """Closer-to-paper scale (minutes_per_day=1440); hours of runtime."""
+    return ScenarioConfig(
+        total_days=100,
+        minutes_per_day=1440,
+        prep_days=10,
+        n_customers=20,
+        n_botnets=8,
+        botnet_size=400,
+        campaigns_per_botnet=2,
+        seed=seed,
+    )
+
+
+def bench_model_config(detect_window: int = 10) -> XatuModelConfig:
+    """Compressed multi-timescale spec: 1/5/20-minute pooling."""
+    return XatuModelConfig(
+        hidden_size=16,
+        dense_size=8,
+        detect_window=detect_window,
+        timescales=(
+            TimescaleSpec("short", 1, 60),
+            TimescaleSpec("medium", 5, 36),
+            TimescaleSpec("long", 20, 12),
+        ),
+    )
+
+
+def bench_train_config(epochs: int = 6) -> TrainConfig:
+    return TrainConfig(epochs=epochs, batch_size=8, learning_rate=3e-3)
+
+
+def bench_pipeline_config(
+    seed: int = 3,
+    overhead_bound: float = 0.1,
+    scenario: ScenarioConfig | None = None,
+    epochs: int = 6,
+    enabled_groups: frozenset[str] | None = None,
+) -> PipelineConfig:
+    """One-stop pipeline preset for benches and examples."""
+    return PipelineConfig(
+        scenario=scenario or bench_scenario(seed),
+        model=bench_model_config(),
+        train=bench_train_config(epochs),
+        split=SplitSpec(),
+        overhead_bound=overhead_bound,
+        enabled_groups=enabled_groups,
+        seed=seed,
+    )

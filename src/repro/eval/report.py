@@ -1,0 +1,137 @@
+"""One-shot markdown report over the cheap (non-training) experiments.
+
+``build_report`` runs the observational analyses (Figures 3/4/15/16,
+Table 2) on a fresh trace and renders them as a single markdown document —
+the artefact an operator would skim before deciding to deploy.  The
+training-based figures are deliberately excluded (they take minutes; run
+the benchmark suite for those).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..synth.scenario import ScenarioConfig, Trace, TraceGenerator
+from .census import (
+    attacker_activity_by_day,
+    clustering_timeline,
+    prep_signal_census,
+    split_table,
+    transition_matrix,
+)
+from .naive_early import run_naive_early
+from .tables import format_value, render_table
+
+__all__ = ["build_report"]
+
+
+def _md_table(headers: list[str], rows: list[list]) -> str:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(format_value(v) for v in row) + " |")
+    return "\n".join(out)
+
+
+def build_report(
+    scenario: ScenarioConfig | None = None, trace: Trace | None = None
+) -> str:
+    """Render the observational-experiment report as markdown text."""
+    if trace is None:
+        trace = TraceGenerator(scenario or ScenarioConfig()).generate()
+    cfg = trace.config
+    sections: list[str] = [
+        "# Xatu reproduction — observational report",
+        "",
+        f"Trace: {cfg.total_days:g} days x {cfg.minutes_per_day} min/day, "
+        f"{cfg.n_customers} customers, {cfg.n_botnets} botnets, "
+        f"{len(trace.events)} attacks, {trace.sampled_flows} sampled flows.",
+    ]
+
+    # Fig 4a ------------------------------------------------------------
+    census = prep_signal_census(trace)
+    rows = []
+    for name, getter in (
+        ("blocklisted (A1)", lambda r: r.blocklisted_fraction),
+        ("previous attackers (A2)", lambda r: r.previous_attacker_fraction),
+        ("spoofed (A3)", lambda r: r.spoofed_fraction),
+    ):
+        values = np.array([getter(r) for r in census])
+        rows.append([name, float(np.median(values)), float((values > 0).mean())])
+    sections += [
+        "",
+        "## Attack preparation signals (Fig 4a)",
+        "",
+        _md_table(["signal", "median attacker fraction", "share of attacks"], rows),
+    ]
+
+    # Fig 4b ------------------------------------------------------------
+    matrix, types, pairs = transition_matrix(trace)
+    rows = [
+        [t.value, matrix[i, i]]
+        for i, t in enumerate(types)
+        if matrix[i].sum() > 0
+    ]
+    sections += [
+        "",
+        f"## Attack type transitions over {pairs} pairs (Fig 4b)",
+        "",
+        _md_table(["attack type", "P(same type next)"], rows),
+    ]
+
+    # Fig 15 ------------------------------------------------------------
+    days_back = max(1, int(cfg.prep_days))
+    activity = attacker_activity_by_day(trace, days_back=days_back)
+    rows = [
+        [f"-{d + 1}"] + [float(activity[k][d]) for k in ("blocklist", "previous", "spoofed")]
+        for d in range(days_back)
+    ]
+    sections += [
+        "",
+        "## Attacker activity by day before attack (Fig 15)",
+        "",
+        _md_table(["day", "blocklist", "previous", "spoofed"], rows),
+    ]
+
+    # Fig 16 ------------------------------------------------------------
+    timeline = clustering_timeline(trace, minutes_before=[15, 10, 5, 0])
+    rows = [
+        [f"t-{offset}", *[float(x) for x in timeline[offset]]]
+        for offset in sorted(timeline, reverse=True)
+    ]
+    sections += [
+        "",
+        "## Clustering coefficient approaching detection (Fig 16)",
+        "",
+        _md_table(["offset", "cc_dot", "cc_min", "cc_max"], rows),
+    ]
+
+    # Fig 3 ---------------------------------------------------------------
+    points = run_naive_early(trace, [0, 3, 6, 9, 12, 15])
+    rows = [
+        [p.minutes_early, p.effectiveness_median, p.overhead_mean]
+        for p in points
+        if p.duration_class == "overall"
+    ]
+    sections += [
+        "",
+        "## Naive early detection trade-off (Fig 3)",
+        "",
+        _md_table(["minutes early", "eff median", "overhead mean"], rows),
+    ]
+
+    # Table 2 -------------------------------------------------------------
+    table = split_table(trace)
+    rows = [
+        [name, row["train"], row["val"], row["test"], sum(row.values())]
+        for name, row in table.items()
+        if sum(row.values())
+    ]
+    sections += [
+        "",
+        "## Attack counts per split (Table 2)",
+        "",
+        _md_table(["type", "train", "val", "test", "total"], rows),
+        "",
+    ]
+    return "\n".join(sections)

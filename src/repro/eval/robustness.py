@@ -1,0 +1,85 @@
+"""Figure 13: robustness to smart (volume- and rate-changing) attackers.
+
+Attackers that shrink their ramp-up volume or change the ramp rate dR can
+delay purely volumetric detectors; Xatu's auxiliary signals are unaffected
+(prep activity does not depend on the flood's shape), so Xatu's detection
+delay stays near zero while "Xatu without auxiliary signals" degrades.
+
+Each sweep point regenerates the trace with the smart-attacker knobs of
+:class:`~repro.synth.ScenarioConfig` (same seed — same campaign schedule,
+different flood shape), trains both Xatu variants, and reports median
+effectiveness and delay, mirroring Figures 13(a)-(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.pipeline import PipelineConfig, XatuPipeline
+from ..synth.scenario import TraceGenerator
+
+__all__ = ["RobustnessPoint", "run_volume_sweep", "run_rate_sweep"]
+
+
+@dataclass(frozen=True, slots=True)
+class RobustnessPoint:
+    """One (knob value, variant) measurement of Figure 13."""
+
+    knob: str
+    value: float
+    variant: str  # "xatu" or "xatu_no_aux"
+    effectiveness_median: float
+    effectiveness_p90: float
+    delay_median: float
+    delay_p90: float
+
+
+def _run_variants(
+    config: PipelineConfig, knob: str, value: float
+) -> list[RobustnessPoint]:
+    trace = TraceGenerator(config.scenario).generate()
+    points = []
+    for variant, groups in (
+        ("xatu", None),
+        ("xatu_no_aux", frozenset({"V"})),
+    ):
+        cfg = replace(config, enabled_groups=groups)
+        result = XatuPipeline(cfg, trace=trace).run()
+        points.append(
+            RobustnessPoint(
+                knob=knob,
+                value=value,
+                variant=variant,
+                effectiveness_median=result.effectiveness.median,
+                effectiveness_p90=result.effectiveness.high,
+                delay_median=result.delay.median,
+                delay_p90=result.delay.high,
+            )
+        )
+    return points
+
+
+def run_volume_sweep(
+    config: PipelineConfig, scales: list[float] | None = None
+) -> list[RobustnessPoint]:
+    """Figure 13(a)/(b): shrink ramp-up volume by each scale factor."""
+    scales = scales or [1.0, 0.75, 0.5, 0.25]
+    points: list[RobustnessPoint] = []
+    for scale in scales:
+        cfg = replace(
+            config, scenario=replace(config.scenario, rampup_volume_scale=scale)
+        )
+        points.extend(_run_variants(cfg, "rampup_volume_scale", scale))
+    return points
+
+
+def run_rate_sweep(
+    config: PipelineConfig, rates: list[float] | None = None
+) -> list[RobustnessPoint]:
+    """Figure 13(c)/(d): pin the ramp rate dR to each value."""
+    rates = rates or [0.5, 1.5, 2.5]
+    points: list[RobustnessPoint] = []
+    for rate in rates:
+        cfg = replace(config, scenario=replace(config.scenario, ramp_rate=rate))
+        points.extend(_run_variants(cfg, "ramp_rate", rate))
+    return points

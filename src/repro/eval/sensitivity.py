@@ -1,0 +1,156 @@
+"""Figure 18: sensitivity analysis on Xatu's components and parameters.
+
+Six sweeps, mirroring Figures 18(a)-(f):
+
+a. **CDet independence** — train with NetScout labels vs FastNetMon labels.
+b. **LSTM contribution** — drop one of the three timescale LSTMs at a time.
+c. **Timescale choice** — smaller / default / larger pooling windows.
+d. **Survival vs classification** — SAFE loss vs BCE (also in ablation).
+e. **Hidden units** — sweep the LSTM hidden size.
+f. **History length** — sweep the lookback (time length fed to the LSTMs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.model import TimescaleSpec, XatuModelConfig
+from ..core.pipeline import PipelineConfig, XatuPipeline
+from ..detect.detectors import FastNetMonDetector, NetScoutDetector
+from ..synth.scenario import Trace, TraceGenerator
+
+__all__ = ["SensitivityPoint", "SensitivityExperiment"]
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityPoint:
+    """One configuration's test metrics."""
+
+    sweep: str
+    setting: str
+    effectiveness_p10: float
+    effectiveness_median: float
+    effectiveness_p90: float
+    delay_median: float
+
+
+class SensitivityExperiment:
+    """Shares one trace across every sweep configuration."""
+
+    def __init__(self, config: PipelineConfig, trace: Trace | None = None) -> None:
+        self.config = config
+        self.trace = trace or TraceGenerator(config.scenario).generate()
+
+    def _run(self, sweep: str, setting: str, config: PipelineConfig, cdet=None) -> SensitivityPoint:
+        result = XatuPipeline(config, trace=self.trace, cdet=cdet).run()
+        return SensitivityPoint(
+            sweep=sweep,
+            setting=setting,
+            effectiveness_p10=result.effectiveness.low,
+            effectiveness_median=result.effectiveness.median,
+            effectiveness_p90=result.effectiveness.high,
+            delay_median=result.delay.median,
+        )
+
+    # -- Fig 18a ---------------------------------------------------------
+    def cdet_choice(self) -> list[SensitivityPoint]:
+        return [
+            self._run("cdet", "netscout", self.config, cdet=NetScoutDetector()),
+            self._run("cdet", "fastnetmon", self.config, cdet=FastNetMonDetector()),
+        ]
+
+    # -- Fig 18b ---------------------------------------------------------
+    def lstm_contribution(self) -> list[SensitivityPoint]:
+        points = [self._run("lstm", "all", self.config)]
+        base = self.config.model
+        for drop in range(len(base.timescales)):
+            scales = tuple(
+                ts for i, ts in enumerate(base.timescales) if i != drop
+            )
+            cfg = replace(self.config, model=replace(base, timescales=scales))
+            points.append(
+                self._run("lstm", f"without_{base.timescales[drop].name}", cfg)
+            )
+        return points
+
+    # -- Fig 18c ---------------------------------------------------------
+    def timescale_choice(
+        self, variants: dict[str, tuple[TimescaleSpec, ...]] | None = None
+    ) -> list[SensitivityPoint]:
+        base = self.config.model
+        if variants is None:
+            # Compressed analogues of the paper's (1,5,10) and (10,60,120).
+            variants = {
+                "default": base.timescales,
+                "smaller": (
+                    TimescaleSpec("short", 1, 60),
+                    TimescaleSpec("medium", 2, 45),
+                    TimescaleSpec("long", 5, 36),
+                ),
+                "larger": (
+                    TimescaleSpec("short", 1, 60),
+                    TimescaleSpec("medium", 20, 12),
+                    TimescaleSpec("long", 60, 6),
+                ),
+            }
+        points = []
+        for name, scales in variants.items():
+            cfg = replace(self.config, model=replace(base, timescales=scales))
+            points.append(self._run("timescales", name, cfg))
+        return points
+
+    # -- Fig 18d ---------------------------------------------------------
+    def survival_vs_classification(self) -> list[SensitivityPoint]:
+        bce = replace(self.config, train=replace(self.config.train, loss="bce"))
+        return [
+            self._run("loss", "survival", self.config),
+            self._run("loss", "bce", bce),
+        ]
+
+    # -- Fig 18e ---------------------------------------------------------
+    def hidden_units(self, sizes: list[int] | None = None) -> list[SensitivityPoint]:
+        sizes = sizes or [4, 8, 16, 32]
+        points = []
+        for size in sizes:
+            cfg = replace(
+                self.config, model=replace(self.config.model, hidden_size=size)
+            )
+            points.append(self._run("hidden", str(size), cfg))
+        return points
+
+    # -- extension: aggregation-operator ablation -------------------------
+    def pooling_choice(self) -> list[SensitivityPoint]:
+        """Average vs max pooling for the Fig-6 aggregation stage.
+
+        The paper uses 1-d (average) pooling; max pooling is the natural
+        alternative for spike-dominated counters.  Not a paper figure — an
+        ablation on a design choice DESIGN.md calls out.
+        """
+        points = []
+        for pooling in ("avg", "max"):
+            cfg = replace(
+                self.config, model=replace(self.config.model, pooling=pooling)
+            )
+            points.append(self._run("pooling", pooling, cfg))
+        return points
+
+    # -- Fig 18f ---------------------------------------------------------
+    def history_length(
+        self, long_spans: list[int] | None = None
+    ) -> list[SensitivityPoint]:
+        """Sweep the long-LSTM span (the total lookback in minutes)."""
+        base = self.config.model
+        long_spans = long_spans or [6, 12, 24]
+        points = []
+        for span in long_spans:
+            scales = tuple(
+                replace_span(ts, span) if i == len(base.timescales) - 1 else ts
+                for i, ts in enumerate(base.timescales)
+            )
+            cfg = replace(self.config, model=replace(base, timescales=scales))
+            points.append(self._run("history", f"{scales[-1].minutes}min", cfg))
+        return points
+
+
+def replace_span(ts: TimescaleSpec, span: int) -> TimescaleSpec:
+    return TimescaleSpec(ts.name, ts.window, span)

@@ -1,0 +1,11 @@
+"""Random-forest baseline substrate (CART + bagging + grid search)."""
+
+from .ensemble import GridSearchResult, RandomForestClassifier, grid_search
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "RandomForestClassifier",
+    "grid_search",
+    "GridSearchResult",
+]

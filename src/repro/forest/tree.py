@@ -1,0 +1,187 @@
+"""CART decision trees for binary classification (gini splitting).
+
+This is the substrate under the paper's random-forest baseline (§6,
+"Alternative approaches": an RF binary classifier per attack type trained on
+the same feature set from the same three timescales).  scikit-learn is not
+available offline, so the trees are implemented here: axis-aligned binary
+splits chosen by gini impurity reduction, with the usual depth /
+min-samples / max-features controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+@dataclass(slots=True)
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: int = -1
+    right: int = -1
+    # Leaf payload: probability of the positive class.
+    prob: float = 0.5
+    is_leaf: bool = False
+
+
+def _gini(pos: float, total: float) -> float:
+    if total <= 0:
+        return 0.0
+    p = pos / total
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTreeClassifier:
+    """Binary CART tree.
+
+    Parameters mirror the sklearn names used in DDoS-detection literature:
+    ``max_depth``, ``min_samples_split``, ``min_samples_leaf``, and
+    ``max_features`` (``None`` = all, "sqrt" = the RF default).
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = max(2, min_samples_split)
+        self.min_samples_leaf = max(1, min_samples_leaf)
+        self.max_features = max_features
+        self._rng = rng or np.random.default_rng(0)
+        self._nodes: list[_Node] = []
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    def _n_candidate_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"bad max_features: {self.max_features!r}")
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, features: np.ndarray
+    ) -> tuple[int, float, float] | None:
+        """Best (feature, threshold, impurity-decrease) or None."""
+        n = len(y)
+        total_pos = float(y.sum())
+        parent = _gini(total_pos, n)
+        best: tuple[int, float, float] | None = None
+        for f in features:
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            ys = y[order]
+            pos_left = np.cumsum(ys)[:-1]
+            n_left = np.arange(1, n)
+            # Valid split positions: value changes and both children large
+            # enough.
+            valid = (xs[1:] != xs[:-1]) & (n_left >= self.min_samples_leaf) & (
+                (n - n_left) >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            n_right = n - n_left
+            pos_right = total_pos - pos_left
+            gini_left = 2.0 * (pos_left / n_left) * (1.0 - pos_left / n_left)
+            gini_right = 2.0 * (pos_right / n_right) * (1.0 - pos_right / n_right)
+            weighted = (n_left * gini_left + n_right * gini_right) / n
+            weighted[~valid] = np.inf
+            idx = int(np.argmin(weighted))
+            decrease = parent - float(weighted[idx])
+            if decrease > 1e-12 and (best is None or decrease > best[2]):
+                threshold = 0.5 * (xs[idx] + xs[idx + 1])
+                best = (int(f), float(threshold), decrease)
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> int:
+        node_id = len(self._nodes)
+        node = _Node()
+        self._nodes.append(node)
+        n = len(y)
+        pos = float(y.sum())
+        node.prob = pos / n if n else 0.5
+        if (
+            depth >= self.max_depth
+            or n < self.min_samples_split
+            or pos == 0
+            or pos == n
+        ):
+            node.is_leaf = True
+            return node_id
+        k = self._n_candidate_features(x.shape[1])
+        features = (
+            np.arange(x.shape[1])
+            if k == x.shape[1]
+            else self._rng.choice(x.shape[1], size=k, replace=False)
+        )
+        split = self._best_split(x, y, features)
+        if split is None:
+            node.is_leaf = True
+            return node_id
+        feature, threshold, _decrease = split
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node_id
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1)
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (n, d) aligned with y")
+        if len(y) == 0:
+            raise ValueError("cannot fit on empty data")
+        self._nodes = []
+        self.n_features_ = x.shape[1]
+        self._build(x, y, depth=0)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """P(positive) for each row."""
+        if self.n_features_ is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._nodes[0]
+            while not node.is_leaf:
+                node = self._nodes[node.left if row[node.feature] <= node.threshold else node.right]
+            out[i] = node.prob
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if not self._nodes:
+            return 0
+
+        def walk(node_id: int) -> int:
+            node = self._nodes[node_id]
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(0)

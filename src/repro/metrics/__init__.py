@@ -1,0 +1,14 @@
+"""Evaluation metrics: effectiveness, overhead, delay, ROC, bootstrap CIs."""
+
+from .bootstrap import BootstrapCI, bootstrap_ci, bootstrap_median_ci
+from .core import (
+    PercentileSummary,
+    auc,
+    percentile_summary,
+    roc_curve,
+)
+
+__all__ = [
+    "PercentileSummary", "percentile_summary", "roc_curve", "auc",
+    "BootstrapCI", "bootstrap_ci", "bootstrap_median_ci",
+]

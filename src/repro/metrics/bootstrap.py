@@ -1,0 +1,81 @@
+"""Bootstrap confidence intervals for metric summaries.
+
+The compressed-replica benches measure medians over small event samples
+(5-50 events vs the paper's thousands); a percentile bootstrap makes the
+sampling noise visible, so EXPERIMENTS.md comparisons can distinguish
+"shape holds" from "within noise".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BootstrapCI", "bootstrap_ci", "bootstrap_median_ci"]
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapCI:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def bootstrap_ci(
+    values: np.ndarray | list[float],
+    statistic: Callable[[np.ndarray], float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI for an arbitrary statistic.
+
+    Resamples ``values`` with replacement ``n_resamples`` times and takes
+    the empirical (1±confidence)/2 quantiles of the statistic.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = np.random.default_rng(seed)
+    estimate = float(statistic(values))
+    replicates = np.empty(n_resamples)
+    n = values.size
+    for i in range(n_resamples):
+        replicates[i] = statistic(values[rng.integers(0, n, size=n)])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=estimate,
+        low=float(np.quantile(replicates, alpha)),
+        high=float(np.quantile(replicates, 1.0 - alpha)),
+        confidence=confidence,
+        n_resamples=n_resamples,
+    )
+
+
+def bootstrap_median_ci(
+    values: np.ndarray | list[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of the median — the paper's headline statistic."""
+    return bootstrap_ci(
+        values, lambda v: float(np.median(v)), confidence, n_resamples, seed
+    )

@@ -1,0 +1,90 @@
+"""Metric primitives shared by the evaluation harness.
+
+Effectiveness / overhead / delay are *accounted* by
+:class:`repro.scrub.ScrubbingCenter`; this module provides the summary
+statistics (the paper reports medians with 10th/90th or 25th/75th
+percentile error bars) and classification metrics (ROC / AUC for Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PercentileSummary", "percentile_summary", "roc_curve", "auc"]
+
+
+@dataclass(frozen=True, slots=True)
+class PercentileSummary:
+    """Median plus low/high percentile of a sample (one error-bar box)."""
+
+    low: float
+    median: float
+    high: float
+    n: int
+    low_pct: float
+    high_pct: float
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.low, self.median, self.high)
+
+
+def percentile_summary(
+    values: np.ndarray | list[float],
+    low_pct: float = 10.0,
+    high_pct: float = 90.0,
+) -> PercentileSummary:
+    """Summarize a sample as (low-pct, median, high-pct).
+
+    Defaults to the 10/50/90 convention the paper uses for effectiveness
+    and delay; pass 25/75 for overhead.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return PercentileSummary(0.0, 0.0, 0.0, 0, low_pct, high_pct)
+    return PercentileSummary(
+        low=float(np.percentile(values, low_pct)),
+        median=float(np.percentile(values, 50.0)),
+        high=float(np.percentile(values, high_pct)),
+        n=int(values.size),
+        low_pct=low_pct,
+        high_pct=high_pct,
+    )
+
+
+def roc_curve(
+    scores: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) sweeping a decision threshold over ``scores``.
+
+    Higher score = more attack-like.  Points are sorted by increasing FPR.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must align")
+    n_pos = int(labels.sum())
+    n_neg = int((~labels).sum())
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both positive and negative samples")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    tps = np.cumsum(sorted_labels)
+    fps = np.cumsum(~sorted_labels)
+    # Collapse ties: keep the last point of each distinct score.
+    sorted_scores = scores[order]
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    idx = np.concatenate([distinct, [len(sorted_scores) - 1]])
+    tpr = np.concatenate([[0.0], tps[idx] / n_pos])
+    fpr = np.concatenate([[0.0], fps[idx] / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[idx]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Trapezoidal area under an ROC curve."""
+    fpr = np.asarray(fpr, dtype=np.float64)
+    tpr = np.asarray(tpr, dtype=np.float64)
+    order = np.argsort(fpr, kind="stable")
+    return float(np.trapezoid(tpr[order], fpr[order]))

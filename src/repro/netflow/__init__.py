@@ -1,0 +1,41 @@
+"""NetFlow substrate: records, wire codec, sampling, routing, aggregation."""
+
+from .addressing import cidr_to_range, in_cidr, int_to_ip, ip_to_int, subnet24, subnet24_str
+from .matrix import (
+    N_VOLUMETRIC,
+    POPULAR_COUNTRIES,
+    POPULAR_PORTS,
+    SOURCE_CLASS_ALL,
+    SOURCE_CLASS_BLOCKLIST,
+    SOURCE_CLASS_PREV_ATTACKER,
+    SOURCE_CLASS_SPOOFED,
+    VOLUMETRIC_FEATURE_NAMES,
+    TrafficMatrix,
+    VolumetricAccumulator,
+)
+from .records import (
+    FLOW_WIRE_SIZE,
+    FlowRecord,
+    Protocol,
+    TcpFlags,
+    decode_flow,
+    decode_flows,
+    encode_flow,
+    encode_flows,
+)
+from .datagram import DatagramCodec, DatagramHeader, SequenceTracker
+from .routing import BOGON_CIDRS, RouteEntry, RouteTable, SpoofVerdict, is_bogon
+from .sampler import FlowCollector, FlowExporter, PacketSampler
+
+__all__ = [
+    "FlowRecord", "Protocol", "TcpFlags",
+    "encode_flow", "decode_flow", "encode_flows", "decode_flows", "FLOW_WIRE_SIZE",
+    "ip_to_int", "int_to_ip", "subnet24", "subnet24_str", "in_cidr", "cidr_to_range",
+    "BOGON_CIDRS", "is_bogon", "RouteEntry", "RouteTable", "SpoofVerdict",
+    "PacketSampler", "FlowExporter", "FlowCollector",
+    "TrafficMatrix", "VolumetricAccumulator",
+    "POPULAR_PORTS", "POPULAR_COUNTRIES", "VOLUMETRIC_FEATURE_NAMES", "N_VOLUMETRIC",
+    "SOURCE_CLASS_ALL", "SOURCE_CLASS_BLOCKLIST", "SOURCE_CLASS_PREV_ATTACKER",
+    "SOURCE_CLASS_SPOOFED",
+    "DatagramCodec", "DatagramHeader", "SequenceTracker",
+]

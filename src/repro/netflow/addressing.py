@@ -1,0 +1,69 @@
+"""IPv4 address helpers used across the reproduction.
+
+Addresses are plain 32-bit integers throughout (fast in numpy); these
+helpers convert to/from dotted-quad text and /24 subnet keys.  Blocklists
+operate at /24 granularity, as in the paper (§5.1): blocklist entries are
+widened to /24 "to improve the effectiveness of blocklists ... due to
+dynamically managed IP address space."
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ip_to_int",
+    "int_to_ip",
+    "subnet24",
+    "subnet24_str",
+    "in_cidr",
+    "cidr_to_range",
+]
+
+
+def ip_to_int(text: str) -> int:
+    """Parse dotted-quad IPv4 text to a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Render a 32-bit integer as dotted-quad IPv4 text."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError("IPv4 value out of range")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def subnet24(addr: int) -> int:
+    """Return the /24 prefix of ``addr`` (as the masked integer)."""
+    return addr & 0xFFFFFF00
+
+
+def subnet24_str(addr: int) -> str:
+    """Return the /24 prefix of ``addr`` in CIDR text form."""
+    return f"{int_to_ip(subnet24(addr))}/24"
+
+
+def cidr_to_range(cidr: str) -> tuple[int, int]:
+    """Return the inclusive integer range ``(lo, hi)`` covered by a CIDR."""
+    base_text, _, length_text = cidr.partition("/")
+    length = int(length_text) if length_text else 32
+    if not 0 <= length <= 32:
+        raise ValueError(f"bad prefix length in {cidr!r}")
+    base = ip_to_int(base_text)
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    lo = base & mask
+    hi = lo | (~mask & 0xFFFFFFFF)
+    return lo, hi
+
+
+def in_cidr(addr: int, cidr: str) -> bool:
+    """Whether integer address ``addr`` falls inside CIDR text ``cidr``."""
+    lo, hi = cidr_to_range(cidr)
+    return lo <= addr <= hi

@@ -1,0 +1,283 @@
+"""Per-minute, per-customer traffic aggregation.
+
+The feature extractor of Table 1 needs, for every customer and every minute,
+the 63 volumetric counters (unique sources, byte/packet totals per protocol,
+popular ports, TCP flags, source countries) — and the same 63 counters
+restricted to each auxiliary source class (blocklisted / previous attackers /
+spoofed, the A1–A3 splits).  :class:`TrafficMatrix` maintains exactly that:
+a dict of :class:`VolumetricAccumulator` keyed by (customer, source-class,
+minute), and materializes dense ``(minutes, 63)`` numpy blocks on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .records import FlowRecord, Protocol, TcpFlags
+
+__all__ = [
+    "POPULAR_PORTS",
+    "POPULAR_COUNTRIES",
+    "SOURCE_CLASS_ALL",
+    "SOURCE_CLASS_BLOCKLIST",
+    "SOURCE_CLASS_PREV_ATTACKER",
+    "SOURCE_CLASS_SPOOFED",
+    "VOLUMETRIC_FEATURE_NAMES",
+    "N_VOLUMETRIC",
+    "VolumetricAccumulator",
+    "TrafficMatrix",
+]
+
+# Appendix D: ports and countries that dominate the ISP's traffic.
+POPULAR_PORTS: tuple[int, ...] = (0, 53, 80, 123, 443)
+POPULAR_COUNTRIES: tuple[str, ...] = (
+    "US", "IN", "SA", "CN", "GB", "NL", "FR", "DE", "BR", "CA",
+)
+_TCP_FLAG_BITS: tuple[TcpFlags, ...] = (
+    TcpFlags.FIN, TcpFlags.SYN, TcpFlags.RST,
+    TcpFlags.PSH, TcpFlags.ACK, TcpFlags.URG,
+)
+
+SOURCE_CLASS_ALL = "all"
+SOURCE_CLASS_BLOCKLIST = "blocklist"
+SOURCE_CLASS_PREV_ATTACKER = "prev_attacker"
+SOURCE_CLASS_SPOOFED = "spoofed"
+
+
+def _volumetric_feature_names() -> list[str]:
+    names = ["unique_sources"]
+    names += ["mean_bytes", "mean_packets", "max_bytes", "max_packets"]
+    for proto in ("udp", "tcp", "icmp"):
+        names += [f"{proto}_bytes", f"{proto}_packets"]
+    for port in POPULAR_PORTS:
+        names += [f"sport{port}_bytes", f"sport{port}_packets"]
+    for port in POPULAR_PORTS:
+        names += [f"dport{port}_bytes", f"dport{port}_packets"]
+    for flag in _TCP_FLAG_BITS:
+        names += [f"flag_{flag.name.lower()}_bytes", f"flag_{flag.name.lower()}_packets"]
+    for country in POPULAR_COUNTRIES:
+        names += [f"cc_{country}_bytes", f"cc_{country}_packets"]
+    return names
+
+
+VOLUMETRIC_FEATURE_NAMES: tuple[str, ...] = tuple(_volumetric_feature_names())
+N_VOLUMETRIC = len(VOLUMETRIC_FEATURE_NAMES)
+assert N_VOLUMETRIC == 63, "Table 1 specifies 63 volumetric features"
+
+_PORT_INDEX = {p: i for i, p in enumerate(POPULAR_PORTS)}
+_COUNTRY_INDEX = {c: i for i, c in enumerate(POPULAR_COUNTRIES)}
+
+# Column offsets inside the 63-wide vector.
+_OFF_UNIQUE = 0
+_OFF_MEANMAX = 1          # mean_bytes, mean_packets, max_bytes, max_packets
+_OFF_PROTO = 5            # 3 protocols x 2
+_OFF_SPORT = 11           # 5 ports x 2
+_OFF_DPORT = 21           # 5 ports x 2
+_OFF_FLAGS = 31           # 6 flags x 2
+_OFF_COUNTRY = 43         # 10 countries x 2
+
+
+class VolumetricAccumulator:
+    """Accumulates flows of one (customer, source-class, minute) cell."""
+
+    __slots__ = (
+        "flow_count", "total_bytes", "total_packets", "max_bytes",
+        "max_packets", "vector", "_sources",
+    )
+
+    def __init__(self) -> None:
+        self.flow_count = 0
+        self.total_bytes = 0
+        self.total_packets = 0
+        self.max_bytes = 0
+        self.max_packets = 0
+        self.vector = np.zeros(N_VOLUMETRIC)
+        self._sources: set[int] = set()
+
+    def add(self, flow: FlowRecord) -> None:
+        """Fold one sampled flow into the counters (sampling-compensated)."""
+        bytes_ = flow.estimated_bytes
+        packets = flow.estimated_packets
+        self.flow_count += 1
+        self.total_bytes += bytes_
+        self.total_packets += packets
+        self.max_bytes = max(self.max_bytes, bytes_)
+        self.max_packets = max(self.max_packets, packets)
+        self._sources.add(flow.src_addr)
+
+        v = self.vector
+        if flow.protocol == Protocol.UDP:
+            v[_OFF_PROTO + 0] += bytes_
+            v[_OFF_PROTO + 1] += packets
+        elif flow.protocol == Protocol.TCP:
+            v[_OFF_PROTO + 2] += bytes_
+            v[_OFF_PROTO + 3] += packets
+        elif flow.protocol == Protocol.ICMP:
+            v[_OFF_PROTO + 4] += bytes_
+            v[_OFF_PROTO + 5] += packets
+
+        sp = _PORT_INDEX.get(flow.src_port)
+        if sp is not None:
+            v[_OFF_SPORT + 2 * sp] += bytes_
+            v[_OFF_SPORT + 2 * sp + 1] += packets
+        dp = _PORT_INDEX.get(flow.dst_port)
+        if dp is not None:
+            v[_OFF_DPORT + 2 * dp] += bytes_
+            v[_OFF_DPORT + 2 * dp + 1] += packets
+
+        if flow.protocol == Protocol.TCP and flow.tcp_flags:
+            for i, bit in enumerate(_TCP_FLAG_BITS):
+                if flow.tcp_flags & bit:
+                    v[_OFF_FLAGS + 2 * i] += bytes_
+                    v[_OFF_FLAGS + 2 * i + 1] += packets
+
+        cc = _COUNTRY_INDEX.get(flow.src_country)
+        if cc is not None:
+            v[_OFF_COUNTRY + 2 * cc] += bytes_
+            v[_OFF_COUNTRY + 2 * cc + 1] += packets
+
+    def merge(self, other: "VolumetricAccumulator") -> None:
+        """Fold another cell into this one (same minute, different class).
+
+        Used to recompute the A2 (previous-attacker) split from per-botnet
+        provenance cells when the alert timeline that defines "previous
+        attackers" changes (e.g. Xatu's autoregressive test mode, §5.3).
+        """
+        self.flow_count += other.flow_count
+        self.total_bytes += other.total_bytes
+        self.total_packets += other.total_packets
+        self.max_bytes = max(self.max_bytes, other.max_bytes)
+        self.max_packets = max(self.max_packets, other.max_packets)
+        self.vector += other.vector
+        self._sources |= other._sources
+
+    def finalize(self) -> np.ndarray:
+        """Return the completed 63-feature vector for this cell."""
+        v = self.vector.copy()
+        v[_OFF_UNIQUE] = len(self._sources)
+        if self.flow_count:
+            v[_OFF_MEANMAX + 0] = self.total_bytes / self.flow_count
+            v[_OFF_MEANMAX + 1] = self.total_packets / self.flow_count
+        v[_OFF_MEANMAX + 2] = self.max_bytes
+        v[_OFF_MEANMAX + 3] = self.max_packets
+        return v
+
+    @property
+    def unique_sources(self) -> int:
+        return len(self._sources)
+
+
+class TrafficMatrix:
+    """Sparse (customer, source-class, minute) → volumetric-cell store.
+
+    ``add_flow`` tags each flow with its auxiliary source classes (computed
+    by the caller — see :class:`repro.signals.SourceClassifier`) and updates
+    the "all" cell plus one cell per class.  ``feature_block`` produces the
+    dense per-minute matrix a model consumes.
+    """
+
+    def __init__(self) -> None:
+        self._cells: dict[tuple[int, str, int], VolumetricAccumulator] = {}
+        self._customers: set[int] = set()
+        self.max_minute = -1
+        # (customer, class) -> set of minutes with a cell; lets the dense
+        # materializers touch only non-empty rows (traffic matrices are
+        # sparse in the auxiliary classes).
+        self._minutes_index: dict[tuple[int, str], set[int]] = {}
+
+    def add_flow(
+        self,
+        customer: int,
+        flow: FlowRecord,
+        source_classes: Sequence[str] = (),
+    ) -> None:
+        """Fold a flow destined to ``customer`` into the matrix."""
+        self._customers.add(customer)
+        minute = flow.timestamp
+        if minute > self.max_minute:
+            self.max_minute = minute
+        for cls in (SOURCE_CLASS_ALL, *source_classes):
+            key = (customer, cls, minute)
+            cell = self._cells.get(key)
+            if cell is None:
+                cell = VolumetricAccumulator()
+                self._cells[key] = cell
+                self._minutes_index.setdefault((customer, cls), set()).add(minute)
+            cell.add(flow)
+
+    def customers(self) -> list[int]:
+        """All customers that received any traffic, sorted."""
+        return sorted(self._customers)
+
+    def cell(
+        self, customer: int, minute: int, source_class: str = SOURCE_CLASS_ALL
+    ) -> VolumetricAccumulator | None:
+        return self._cells.get((customer, source_class, minute))
+
+    def feature_block(
+        self,
+        customer: int,
+        start_minute: int,
+        end_minute: int,
+        source_class: str = SOURCE_CLASS_ALL,
+    ) -> np.ndarray:
+        """Dense ``(end-start, 63)`` feature block for one source class.
+
+        Minutes with no traffic yield zero rows — absence of traffic is
+        itself signal.
+        """
+        if end_minute < start_minute:
+            raise ValueError("end_minute must be >= start_minute")
+        steps = end_minute - start_minute
+        block = np.zeros((steps, N_VOLUMETRIC))
+        minutes = self._minutes_index.get((customer, source_class))
+        if not minutes:
+            return block
+        if len(minutes) < steps:
+            hits = (m for m in minutes if start_minute <= m < end_minute)
+        else:
+            hits = (
+                m for m in range(start_minute, end_minute)
+                if m in minutes
+            )
+        for minute in hits:
+            block[minute - start_minute] = self._cells[
+                (customer, source_class, minute)
+            ].finalize()
+        return block
+
+    def total_bytes(
+        self,
+        customer: int,
+        start_minute: int,
+        end_minute: int,
+        source_class: str = SOURCE_CLASS_ALL,
+    ) -> float:
+        """Sum of sampling-compensated bytes over a minute range."""
+        total = 0.0
+        for t in range(start_minute, end_minute):
+            cell = self._cells.get((customer, source_class, t))
+            if cell is not None:
+                total += cell.total_bytes
+        return total
+
+    def bytes_series(
+        self,
+        customer: int,
+        start_minute: int,
+        end_minute: int,
+        source_class: str = SOURCE_CLASS_ALL,
+    ) -> np.ndarray:
+        """Per-minute byte series (sampling-compensated)."""
+        series = np.zeros(end_minute - start_minute)
+        for t in range(start_minute, end_minute):
+            cell = self._cells.get((customer, source_class, t))
+            if cell is not None:
+                series[t - start_minute] = cell.total_bytes
+        return series
+
+    def __len__(self) -> int:
+        return len(self._cells)

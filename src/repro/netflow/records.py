@@ -1,0 +1,182 @@
+"""Flow records and traffic constants.
+
+A :class:`FlowRecord` is the reproduction's stand-in for one sampled NetFlow
+v5/v9 record: the 5-tuple, byte/packet counters, TCP flags, a timestamp, and
+the exporter's sampling rate.  The synthetic ISP world (:mod:`repro.synth`)
+emits these; the feature extractor (:mod:`repro.signals`) consumes per-minute
+aggregations of them.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Protocol",
+    "TcpFlags",
+    "FlowRecord",
+    "encode_flow",
+    "decode_flow",
+    "encode_flows",
+    "decode_flows",
+    "FLOW_WIRE_SIZE",
+]
+
+
+class Protocol(enum.IntEnum):
+    """IP protocol numbers used by the six attack types in the dataset."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flag bits (subset relevant to attack signatures)."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+
+
+@dataclass(frozen=True, slots=True)
+class FlowRecord:
+    """One sampled flow record.
+
+    Attributes
+    ----------
+    timestamp:
+        Export time in integer minutes since the start of the trace.  The
+        paper's exporters have a one-minute exportation delay (§5.1), so the
+        minute is the native time resolution throughout the reproduction.
+    src_addr / dst_addr:
+        IPv4 addresses as 32-bit integers.
+    src_port / dst_port:
+        Transport ports (0 for ICMP).
+    protocol:
+        IP protocol number.
+    packets / bytes_:
+        Sampled counters (multiply by ``sampling_rate`` to estimate the
+        original traffic).
+    tcp_flags:
+        OR of all TCP flags seen on the flow (0 for non-TCP).
+    src_country:
+        Two-letter country code of the source (the paper's country features
+        come from an IP-geo mapping; the synthetic world assigns countries
+        directly to address blocks).
+    sampling_rate:
+        1:N packet sampling rate at the exporting router (1..10000, §5.1).
+    """
+
+    timestamp: int
+    src_addr: int
+    dst_addr: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    packets: int
+    bytes_: int
+    tcp_flags: int = 0
+    src_country: str = "US"
+    sampling_rate: int = 1
+
+    def __post_init__(self) -> None:
+        if self.packets < 0 or self.bytes_ < 0:
+            raise ValueError("flow counters must be non-negative")
+        if not 0 <= self.src_port <= 0xFFFF or not 0 <= self.dst_port <= 0xFFFF:
+            raise ValueError("ports must fit in 16 bits")
+        if self.sampling_rate < 1:
+            raise ValueError("sampling_rate is 1:N with N >= 1")
+
+    @property
+    def estimated_bytes(self) -> int:
+        """Upscaled byte count compensating for packet sampling."""
+        return self.bytes_ * self.sampling_rate
+
+    @property
+    def estimated_packets(self) -> int:
+        """Upscaled packet count compensating for packet sampling."""
+        return self.packets * self.sampling_rate
+
+
+# Wire format: a fixed 40-byte little-endian layout per record, preceded in
+# streams by a u32 record count.  This mimics the fixed-size record blocks of
+# NetFlow v5 export datagrams.
+_FLOW_STRUCT = struct.Struct("<IIIHHBBIQH2sI")
+FLOW_WIRE_SIZE = _FLOW_STRUCT.size
+
+
+def encode_flow(flow: FlowRecord) -> bytes:
+    """Serialize one record to its fixed-size wire form."""
+    return _FLOW_STRUCT.pack(
+        flow.timestamp,
+        flow.src_addr,
+        flow.dst_addr,
+        flow.src_port,
+        flow.dst_port,
+        flow.protocol,
+        flow.tcp_flags,
+        flow.packets,
+        flow.bytes_,
+        flow.sampling_rate,
+        flow.src_country.encode("ascii")[:2].ljust(2, b" "),
+        0,  # reserved
+    )
+
+
+def decode_flow(blob: bytes) -> FlowRecord:
+    """Parse one fixed-size wire record back into a :class:`FlowRecord`."""
+    (
+        timestamp,
+        src_addr,
+        dst_addr,
+        src_port,
+        dst_port,
+        protocol,
+        tcp_flags,
+        packets,
+        bytes_,
+        sampling_rate,
+        country,
+        _reserved,
+    ) = _FLOW_STRUCT.unpack(blob)
+    return FlowRecord(
+        timestamp=timestamp,
+        src_addr=src_addr,
+        dst_addr=dst_addr,
+        src_port=src_port,
+        dst_port=dst_port,
+        protocol=protocol,
+        packets=packets,
+        bytes_=bytes_,
+        tcp_flags=tcp_flags,
+        src_country=country.decode("ascii").strip() or "US",
+        sampling_rate=sampling_rate,
+    )
+
+
+def encode_flows(flows: list[FlowRecord]) -> bytes:
+    """Serialize a batch: u32 count followed by fixed-size records."""
+    return struct.pack("<I", len(flows)) + b"".join(encode_flow(f) for f in flows)
+
+
+def decode_flows(blob: bytes) -> list[FlowRecord]:
+    """Parse a batch produced by :func:`encode_flows`."""
+    if len(blob) < 4:
+        raise ValueError("truncated flow batch: missing count header")
+    (count,) = struct.unpack_from("<I", blob, 0)
+    expected = 4 + count * FLOW_WIRE_SIZE
+    if len(blob) != expected:
+        raise ValueError(
+            f"truncated flow batch: expected {expected} bytes, got {len(blob)}"
+        )
+    flows = []
+    for i in range(count):
+        offset = 4 + i * FLOW_WIRE_SIZE
+        flows.append(decode_flow(blob[offset : offset + FLOW_WIRE_SIZE]))
+    return flows

@@ -1,0 +1,96 @@
+"""Loss functions: binary cross-entropy and the SAFE survival loss.
+
+The SAFE loss (Zheng, Yuan & Wu, AAAI 2019 — cited as [89] in the paper and
+restated in the paper's Appendix C) trains a model that emits per-step hazard
+rates ``lambda_t`` so that the survival probability
+
+    S_t = exp(-sum_{k<=t} lambda_k)
+
+is driven *low* before the labelled event for attack series (maximize the
+likelihood of detecting at any time before ground-truth detection,
+``P{T < t_i} = 1 - S_{t_i}``) and *high* throughout non-attack series
+(``P{T >= t_i} = S_{t_i}``).  The per-series negative log likelihood is
+
+    loss_i = -c_i * log(1 - S_{t_i}) - (1 - c_i) * log(S_{t_i})
+
+where ``c_i`` flags an attack series and ``t_i`` is its label time (or the
+series end for non-attack series).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = [
+    "binary_cross_entropy",
+    "hazard_to_survival",
+    "safe_survival_loss",
+]
+
+_EPS = 1e-12
+
+
+def binary_cross_entropy(probs: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    """Mean binary cross-entropy between probabilities and 0/1 targets.
+
+    Used by the "Xatu w/o survival model" ablation (Figure 18d), where the
+    instantaneous attack probability is trained as a plain classifier.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets, dtype=np.float64)
+    p = probs.clip(_EPS, 1.0 - _EPS)
+    t = Tensor(targets)
+    losses = -(t * p.log() + (1.0 - t) * (1.0 - p).log())
+    return losses.mean()
+
+
+def hazard_to_survival(hazards: Tensor) -> Tensor:
+    """Convert per-step hazard rates into survival probabilities.
+
+    ``hazards`` has shape ``(..., time)`` with non-negative entries; the
+    result ``S`` has the same shape with ``S[..., t] = exp(-sum_{k<=t} h_k)``.
+    """
+    return (-hazards.cumsum(axis=-1)).exp()
+
+
+def safe_survival_loss(
+    hazards: Tensor,
+    is_attack: np.ndarray,
+    label_times: np.ndarray,
+) -> Tensor:
+    """SAFE negative log-likelihood over a batch of hazard sequences.
+
+    Parameters
+    ----------
+    hazards:
+        ``(batch, time)`` non-negative hazard rates ``lambda_t``.
+    is_attack:
+        ``(batch,)`` 0/1 flags ``c_i``.
+    label_times:
+        ``(batch,)`` integer indices ``t_i`` (0-based, inclusive): the
+        ground-truth detection step for attack series, or the final step for
+        non-attack series.
+
+    Returns the mean loss over the batch.
+    """
+    is_attack = np.asarray(is_attack, dtype=np.float64).reshape(-1)
+    label_times = np.asarray(label_times, dtype=np.int64).reshape(-1)
+    batch, steps = hazards.shape
+    if is_attack.shape[0] != batch or label_times.shape[0] != batch:
+        raise ValueError("labels must match the hazard batch size")
+    if (label_times < 0).any() or (label_times >= steps).any():
+        raise ValueError("label_times out of range for hazard sequence")
+
+    cumulative = hazards.cumsum(axis=-1)
+    rows = np.arange(batch)
+    total_hazard = cumulative[rows, label_times]  # H_i = sum_{k<=t_i} lambda_k
+    survival = (-total_hazard).exp()  # S_{t_i}
+
+    c = Tensor(is_attack)
+    event_prob = (1.0 - survival).clip(_EPS, 1.0)
+    censor_prob = survival.clip(_EPS, 1.0)
+    losses = -(c * event_prob.log() + (1.0 - c) * censor_prob.log())
+    return losses.mean()

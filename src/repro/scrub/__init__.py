@@ -1,0 +1,9 @@
+"""CScrub: the scrubbing-center cost model."""
+
+from .center import DiversionWindow, ScrubbingCenter, ScrubbingReport
+from .summary import ReportSummary, summarize_report
+
+__all__ = [
+    "ScrubbingCenter", "DiversionWindow", "ScrubbingReport",
+    "ReportSummary", "summarize_report",
+]

@@ -1,0 +1,175 @@
+"""The scrubbing center (CScrub) and its cost accounting.
+
+CScrub receives diverted traffic matching an alert signature, filters it,
+and charges by volume handled (§2.1).  For evaluation, what matters is the
+*accounting* of Figure 2:
+
+* **Area A** — anomalous traffic over the ground-truth attack window,
+* **Area B** — the part of A that was actually diverted (effectiveness = B/A),
+* **Area C** — extraneous traffic diverted outside the attack window
+  (overhead = C/A, cumulative per customer across attacks, §2.4).
+
+:class:`ScrubbingCenter` turns a set of diversion windows (from any
+detector, or from Xatu's early alerts) plus ground truth into a
+:class:`ScrubbingReport`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..synth.scenario import AttackEvent, Trace
+
+__all__ = ["DiversionWindow", "ScrubbingCenter", "ScrubbingReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class DiversionWindow:
+    """Traffic diversion for one customer over ``[start, end)`` minutes."""
+
+    customer_id: int
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("diversion window is inverted")
+
+
+@dataclass
+class ScrubbingReport:
+    """Per-event and per-customer accounting of a scrubbing run."""
+
+    # per event_id: (anomalous A, diverted-anomalous B)
+    event_area: dict[int, tuple[float, float]] = field(default_factory=dict)
+    # per customer: cumulative extraneous bytes C and cumulative anomalous A
+    customer_extraneous: dict[int, float] = field(default_factory=dict)
+    customer_anomalous: dict[int, float] = field(default_factory=dict)
+    # per event_id: detection delay in minutes (None = never diverted)
+    detection_delay: dict[int, int | None] = field(default_factory=dict)
+
+    def effectiveness(self, event_id: int) -> float:
+        """B/A for one event (0 when A is 0)."""
+        a, b = self.event_area.get(event_id, (0.0, 0.0))
+        return b / a if a > 0 else 0.0
+
+    def effectiveness_values(self) -> np.ndarray:
+        return np.array([self.effectiveness(e) for e in sorted(self.event_area)])
+
+    def overhead(self, customer_id: int) -> float:
+        """Cumulative C/A for one customer (§2.4)."""
+        a = self.customer_anomalous.get(customer_id, 0.0)
+        c = self.customer_extraneous.get(customer_id, 0.0)
+        return c / a if a > 0 else 0.0
+
+    def overhead_values(self) -> np.ndarray:
+        customers = sorted(
+            set(self.customer_anomalous) | set(self.customer_extraneous)
+        )
+        return np.array([self.overhead(c) for c in customers])
+
+    def delay_values(self, missed_value: int | None = None) -> np.ndarray:
+        """Detection delays; missed events map to ``missed_value`` (or drop)."""
+        values = []
+        for event_id in sorted(self.detection_delay):
+            delay = self.detection_delay[event_id]
+            if delay is None:
+                if missed_value is not None:
+                    values.append(missed_value)
+            else:
+                values.append(delay)
+        return np.array(values, dtype=np.float64)
+
+
+class ScrubbingCenter:
+    """Accounts diverted traffic against ground truth."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+        self._series_cache: dict[int, np.ndarray] = {}
+
+    def _customer_series(self, customer_id: int) -> np.ndarray:
+        series = self._series_cache.get(customer_id)
+        if series is None:
+            series = self.trace.matrix.bytes_series(customer_id, 0, self.trace.horizon)
+            self._series_cache[customer_id] = series
+        return series
+
+    def account(self, windows: list[DiversionWindow]) -> ScrubbingReport:
+        """Compute the Figure 2 areas for a set of diversion windows.
+
+        Anomalous traffic per minute comes from each event's ground-truth
+        ``anomalous_bytes``; extraneous traffic is everything else diverted
+        (benign traffic during diversion, and any diversion outside attack
+        windows).
+        """
+        trace = self.trace
+        report = ScrubbingReport()
+        horizon = trace.horizon
+
+        # Diverted-minute masks per customer.
+        diverted: dict[int, np.ndarray] = {}
+        for window in windows:
+            mask = diverted.get(window.customer_id)
+            if mask is None:
+                mask = np.zeros(horizon, dtype=bool)
+                diverted[window.customer_id] = mask
+            mask[max(0, window.start) : min(horizon, window.end)] = True
+
+        # Anomalous-byte series per customer (sum over its events).
+        anomalous: dict[int, np.ndarray] = defaultdict(lambda: np.zeros(horizon))
+        for event in trace.events:
+            span = min(event.end, horizon) - event.onset
+            if span > 0:
+                anomalous[event.customer_id][event.onset : event.onset + span] += (
+                    event.anomalous_bytes[:span]
+                )
+
+        # Per-event A and B; per-event delay.
+        for event in trace.events:
+            span = min(event.end, horizon) - event.onset
+            series = event.anomalous_bytes[:span]
+            area_a = float(series.sum())
+            mask = diverted.get(event.customer_id)
+            if mask is None:
+                area_b = 0.0
+                delay = None
+            else:
+                window_mask = mask[event.onset : event.onset + span]
+                area_b = float(series[window_mask].sum())
+                hit = np.nonzero(mask[: min(event.end, horizon)])[0]
+                # Delay = first diverted minute at/after which the event is
+                # covered, relative to onset; diversion already active at
+                # onset counts as delay <= 0.
+                covering = hit[hit < event.end] if len(hit) else hit
+                covering = covering[covering >= 0]
+                relevant = covering[covering >= event.onset]
+                if mask[event.onset]:
+                    # Find when this continuous diversion started.
+                    start = event.onset
+                    while start > 0 and mask[start - 1]:
+                        start -= 1
+                    delay = start - event.onset
+                elif len(relevant):
+                    delay = int(relevant[0]) - event.onset
+                else:
+                    delay = None
+            report.event_area[event.event_id] = (area_a, area_b)
+            report.detection_delay[event.event_id] = delay
+            report.customer_anomalous[event.customer_id] = (
+                report.customer_anomalous.get(event.customer_id, 0.0) + area_a
+            )
+
+        # Per-customer extraneous bytes C: diverted total minus diverted
+        # anomalous.
+        for customer_id, mask in diverted.items():
+            total_diverted = float(self._customer_series(customer_id)[mask].sum())
+            anomalous_diverted = float(anomalous[customer_id][mask].sum())
+            report.customer_extraneous[customer_id] = max(
+                0.0, total_diverted - anomalous_diverted
+            )
+            report.customer_anomalous.setdefault(customer_id, 0.0)
+        return report

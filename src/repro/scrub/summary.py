@@ -1,0 +1,66 @@
+"""Report summarization: turn a ScrubbingReport into headline statistics.
+
+Shared by the CLI and the evaluation harness so that "median effectiveness
+/ overhead p75 / median delay over a minute range" is computed exactly one
+way everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.core import PercentileSummary, percentile_summary
+from ..synth.scenario import Trace
+from .center import ScrubbingReport
+
+__all__ = ["ReportSummary", "summarize_report"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReportSummary:
+    """The paper's three metrics over one evaluation range."""
+
+    effectiveness: PercentileSummary
+    overhead: PercentileSummary
+    delay: PercentileSummary
+    n_events: int
+    n_detected: int
+
+    @property
+    def detection_rate(self) -> float:
+        return self.n_detected / self.n_events if self.n_events else 0.0
+
+
+def summarize_report(
+    trace: Trace,
+    report: ScrubbingReport,
+    minute_range: tuple[int, int] | None = None,
+    missed_delay: int = 30,
+) -> ReportSummary:
+    """Summarize a scrubbing report over ``minute_range`` (default: all).
+
+    Effectiveness and delay are per-event over events whose onset falls in
+    the range (missed events contribute ``missed_delay``); overhead is the
+    cumulative per-customer metric (25/75 percentiles, §6 convention).
+    """
+    lo, hi = minute_range if minute_range is not None else (0, trace.horizon)
+    events = [e for e in trace.events if lo <= e.onset < hi]
+    eff = np.array([report.effectiveness(e.event_id) for e in events])
+    delays = []
+    n_detected = 0
+    for event in events:
+        delay = report.detection_delay.get(event.event_id)
+        if delay is None:
+            delays.append(missed_delay)
+        else:
+            delays.append(delay)
+            n_detected += 1
+    return ReportSummary(
+        effectiveness=percentile_summary(eff, 10, 90),
+        overhead=percentile_summary(report.overhead_values(), 25, 75),
+        delay=percentile_summary(np.array(delays, dtype=np.float64), 10, 90),
+        n_events=len(events),
+        n_detected=n_detected,
+    )

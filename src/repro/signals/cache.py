@@ -1,0 +1,97 @@
+"""Dense window caching for repeated feature extraction.
+
+The online detector and the RF score sweep extract heavily-overlapping
+``(lookback, 273)`` windows (each minute's window shares lookback-1 rows
+with the previous one).  :class:`CachedFeatureExtractor` materializes each
+customer's dense feature matrix over a whole minute range once, then serves
+windows as O(1) numpy slices — bitwise-identical to direct extraction for
+ranges where the alert timeline does not change mid-range.
+
+When new alerts arrive (autoregressive mode), the affected customer's
+cached A2/A4/A5 region is invalidated and rebuilt lazily.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .features import FeatureExtractor, N_FEATURES
+from .history import AlertRecord
+
+__all__ = ["CachedFeatureExtractor"]
+
+
+class CachedFeatureExtractor:
+    """Drop-in wrapper over :class:`FeatureExtractor` with dense caching.
+
+    ``block_minutes`` controls the granularity of materialization: each
+    cache fill covers one aligned block of that many minutes per customer.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, block_minutes: int = 512) -> None:
+        if block_minutes < 1:
+            raise ValueError("block_minutes must be >= 1")
+        self.extractor = extractor
+        self.block_minutes = block_minutes
+        # (customer, block index) -> dense (block_minutes, 273) array
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+        self.fills = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def add_alert(self, alert: AlertRecord) -> None:
+        """Forward an alert and invalidate the customer's affected blocks.
+
+        Alerts only change features from their detect minute onward, so
+        blocks entirely before the detect minute stay valid.
+        """
+        self.extractor.add_alert(alert)
+        first_affected = alert.detect_minute // self.block_minutes
+        stale = [
+            key
+            for key in self._blocks
+            if key[0] == alert.customer_id and key[1] >= first_affected
+        ]
+        for key in stale:
+            del self._blocks[key]
+
+    def _block(self, customer_id: int, block_index: int) -> np.ndarray:
+        key = (customer_id, block_index)
+        cached = self._blocks.get(key)
+        if cached is None:
+            start = block_index * self.block_minutes
+            cached = self.extractor.window(
+                customer_id, start, start + self.block_minutes
+            )
+            self._blocks[key] = cached
+            self.fills += 1
+        else:
+            self.hits += 1
+        return cached
+
+    def window(
+        self, customer_id: int, start_minute: int, end_minute: int
+    ) -> np.ndarray:
+        """Same contract as :meth:`FeatureExtractor.window` (cached)."""
+        if end_minute <= start_minute:
+            raise ValueError("feature window must be non-empty")
+        if start_minute < 0:
+            raise ValueError("start_minute must be >= 0")
+        first = start_minute // self.block_minutes
+        last = (end_minute - 1) // self.block_minutes
+        parts = [self._block(customer_id, b) for b in range(first, last + 1)]
+        dense = parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+        offset = first * self.block_minutes
+        return dense[start_minute - offset : end_minute - offset].copy()
+
+    def invalidate(self, customer_id: int | None = None) -> None:
+        """Drop cached blocks (all customers, or one)."""
+        if customer_id is None:
+            self._blocks.clear()
+        else:
+            for key in [k for k in self._blocks if k[0] == customer_id]:
+                del self._blocks[key]
+
+    @property
+    def cached_blocks(self) -> int:
+        return len(self._blocks)

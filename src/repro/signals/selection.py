@@ -1,0 +1,84 @@
+"""Feature selection utilities (Appendix D).
+
+The paper selects the ports and source countries that cover >95% of the
+ISP's traffic as the volumetric feature dimensions.  These helpers compute
+the same coverage analysis on a synthetic trace — useful both to verify
+the hard-coded :data:`~repro.netflow.matrix.POPULAR_PORTS` /
+:data:`~repro.netflow.matrix.POPULAR_COUNTRIES` choices against a given
+world and to re-derive them for custom scenarios.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netflow.records import FlowRecord
+
+__all__ = ["CoverageReport", "coverage_by_key", "select_covering"]
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageReport:
+    """Ranked traffic shares for one key (port / country / protocol)."""
+
+    key_name: str
+    ranked: tuple[tuple[object, float], ...]  # (key value, byte share) desc
+    total_bytes: float
+
+    def coverage_of(self, values) -> float:
+        """Combined byte share of the given key values."""
+        wanted = set(values)
+        return sum(share for value, share in self.ranked if value in wanted)
+
+    def top(self, n: int) -> list[object]:
+        return [value for value, _share in self.ranked[:n]]
+
+
+def coverage_by_key(flows, key) -> CoverageReport:
+    """Aggregate byte shares of ``flows`` grouped by ``key(flow)``.
+
+    ``flows`` is any iterable of :class:`FlowRecord`; ``key`` may be a
+    callable or one of the shorthand strings "src_port", "dst_port",
+    "src_country", "protocol".
+    """
+    if isinstance(key, str):
+        attr = key
+        key_fn = lambda flow: getattr(flow, attr)  # noqa: E731
+        name = attr
+    else:
+        key_fn = key
+        name = getattr(key, "__name__", "custom")
+    totals: Counter = Counter()
+    grand_total = 0
+    for flow in flows:
+        weight = flow.estimated_bytes
+        totals[key_fn(flow)] += weight
+        grand_total += weight
+    if grand_total <= 0:
+        return CoverageReport(name, (), 0.0)
+    ranked = tuple(
+        (value, count / grand_total)
+        for value, count in totals.most_common()
+    )
+    return CoverageReport(name, ranked, float(grand_total))
+
+
+def select_covering(report: CoverageReport, target: float = 0.95) -> list[object]:
+    """Smallest prefix of ranked key values whose shares reach ``target``.
+
+    Mirrors the Appendix D selection rule ("prevalent ... take up over 95%
+    of traffic").  Returns all values if the target is unreachable.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    chosen: list[object] = []
+    covered = 0.0
+    for value, share in report.ranked:
+        if covered >= target:
+            break
+        chosen.append(value)
+        covered += share
+    return chosen

@@ -1,0 +1,16 @@
+"""Survival analysis utilities and threshold calibration."""
+
+from .analysis import (
+    hazards_to_survival_np,
+    survival_to_event_prob,
+    detection_time_from_survival,
+)
+from .calibration import CalibrationResult, ThresholdCalibrator
+
+__all__ = [
+    "hazards_to_survival_np",
+    "survival_to_event_prob",
+    "detection_time_from_survival",
+    "ThresholdCalibrator",
+    "CalibrationResult",
+]

@@ -1,0 +1,51 @@
+"""Pure-numpy survival-analysis helpers (inference-side).
+
+Training-side math lives in :func:`repro.nn.losses.safe_survival_loss`;
+these helpers are used at detection time, where no gradients are needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hazards_to_survival_np",
+    "survival_to_event_prob",
+    "detection_time_from_survival",
+]
+
+
+def hazards_to_survival_np(hazards: np.ndarray) -> np.ndarray:
+    """``S_t = exp(-cumsum(lambda))`` along the last axis.
+
+    ``S_t`` is the probability that no attack has occurred by step ``t``
+    (Pr(A >= t), §4.2).  Monotone non-increasing in ``t`` by construction.
+    """
+    hazards = np.asarray(hazards, dtype=np.float64)
+    if (hazards < 0).any():
+        raise ValueError("hazard rates must be non-negative")
+    return np.exp(-np.cumsum(hazards, axis=-1))
+
+
+def survival_to_event_prob(survival: np.ndarray) -> np.ndarray:
+    """Per-step event probability ``Pr(A = t) = S_{t-1} - S_t``."""
+    survival = np.asarray(survival, dtype=np.float64)
+    prev = np.concatenate(
+        [np.ones((*survival.shape[:-1], 1)), survival[..., :-1]], axis=-1
+    )
+    return prev - survival
+
+
+def detection_time_from_survival(
+    survival: np.ndarray, threshold: float
+) -> int | None:
+    """First step where ``S_t`` drops below ``threshold`` (Xatu's alert rule).
+
+    Returns None if the survival curve never crosses the threshold within
+    the window — no detection.
+    """
+    survival = np.asarray(survival, dtype=np.float64)
+    if survival.ndim != 1:
+        raise ValueError("expected a single survival curve")
+    hits = np.nonzero(survival < threshold)[0]
+    return int(hits[0]) if len(hits) else None

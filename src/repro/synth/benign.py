@@ -1,0 +1,113 @@
+"""Benign background traffic model.
+
+Each customer receives diurnal web/DNS/mail-shaped traffic from the benign
+client population.  The model deliberately includes *benign bursts* — flash
+crowds lasting a few minutes — because the whole premise of the paper (§1)
+is that "benign traffic can be bursty" and volumetric detectors must stay
+conservative to avoid paging on those bursts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..netflow.records import FlowRecord, Protocol, TcpFlags
+from .world import Customer
+
+__all__ = ["BenignTrafficModel", "BenignConfig"]
+
+
+@dataclass
+class BenignConfig:
+    """Shape parameters for the benign traffic generator."""
+
+    minutes_per_day: int = 1440
+    flows_per_minute: int = 6
+    burst_probability: float = 0.002  # per customer-minute
+    burst_multiplier: float = 6.0
+    burst_duration: int = 4  # minutes
+    noise_sigma: float = 0.15
+
+
+# (protocol, src_port, dst_port, tcp_flags, weight) — a web-dominated mix.
+_BENIGN_MIX = (
+    (int(Protocol.TCP), 443, 0, int(TcpFlags.ACK | TcpFlags.PSH), 0.45),
+    (int(Protocol.TCP), 80, 0, int(TcpFlags.ACK), 0.25),
+    (int(Protocol.UDP), 53, 0, 0, 0.12),
+    (int(Protocol.UDP), 123, 0, 0, 0.05),
+    (int(Protocol.TCP), 0, 443, int(TcpFlags.SYN | TcpFlags.ACK), 0.08),
+    (int(Protocol.ICMP), 0, 0, 0, 0.05),
+)
+
+
+class BenignTrafficModel:
+    """Generates one customer-minute of benign flows at a time."""
+
+    def __init__(
+        self,
+        clients: np.ndarray,
+        country_of: dict[int, str],
+        config: BenignConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if len(clients) == 0:
+            raise ValueError("benign client pool is empty")
+        self.clients = clients
+        self.country_of = country_of
+        self.config = config or BenignConfig()
+        self._rng = rng or np.random.default_rng(0)
+        self._burst_until: dict[int, int] = {}
+        weights = np.array([w for *_rest, w in _BENIGN_MIX])
+        self._mix_weights = weights / weights.sum()
+
+    def rate_at(self, customer: Customer, minute: int) -> float:
+        """Expected benign bytes/minute at ``minute`` (diurnal + noise).
+
+        The diurnal curve peaks mid-"day" (sinusoid over
+        ``minutes_per_day``); multiplicative lognormal noise keeps the series
+        from being trivially thresholdable.
+        """
+        day_frac = (minute % self.config.minutes_per_day) / self.config.minutes_per_day
+        diurnal = 1.0 + customer.diurnal_amplitude * math.sin(2 * math.pi * (day_frac - 0.25))
+        noise = float(self._rng.lognormal(mean=0.0, sigma=self.config.noise_sigma))
+        rate = customer.base_rate_bytes * diurnal * noise
+
+        # Benign flash crowds.
+        until = self._burst_until.get(customer.customer_id, -1)
+        if minute <= until:
+            rate *= self.config.burst_multiplier
+        elif self._rng.random() < self.config.burst_probability:
+            self._burst_until[customer.customer_id] = minute + self.config.burst_duration
+            rate *= self.config.burst_multiplier
+        return rate
+
+    def flows_at(self, customer: Customer, minute: int) -> list[FlowRecord]:
+        """Sample the benign flows arriving at ``customer`` this minute."""
+        total_bytes = self.rate_at(customer, minute)
+        n_flows = max(1, int(self._rng.poisson(self.config.flows_per_minute)))
+        shares = self._rng.dirichlet(np.ones(n_flows))
+        sources = self._rng.choice(self.clients, size=n_flows)
+        kinds = self._rng.choice(len(_BENIGN_MIX), size=n_flows, p=self._mix_weights)
+        flows = []
+        for src, share, kind in zip(sources, shares, kinds):
+            protocol, src_port, dst_port, flags, _w = _BENIGN_MIX[kind]
+            flow_bytes = max(64, int(total_bytes * share))
+            packets = max(1, flow_bytes // 700)
+            flows.append(
+                FlowRecord(
+                    timestamp=minute,
+                    src_addr=int(src),
+                    dst_addr=customer.address,
+                    src_port=src_port or int(self._rng.integers(1024, 65535)),
+                    dst_port=dst_port or int(self._rng.integers(1024, 65535)),
+                    protocol=protocol,
+                    packets=packets,
+                    bytes_=flow_bytes,
+                    tcp_flags=flags,
+                    src_country=self.country_of.get(int(src), "US"),
+                )
+            )
+        return flows

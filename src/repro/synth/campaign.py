@@ -1,0 +1,330 @@
+"""Attack campaigns: preparation phases, serial attacks, correlated targets.
+
+A *campaign* is one attacker group (backed by a botnet) running a series of
+attacks.  The campaign engine reproduces the empirical regularities that the
+paper's auxiliary signals exploit:
+
+* **Preparation** (§3, Fig 15): for days before each attack, a growing
+  fraction of the eventual attack sources send low-rate probe traffic at the
+  target — blocklisted members (A1), members that attacked the same customer
+  before (A2), and spoofed probes (A3).
+* **Serial same-type attacks** (Fig 4b): consecutive attacks on a customer
+  follow the :data:`~repro.synth.attacks.TYPE_TRANSITIONS` Markov chain.
+* **Correlated targets** (Fig 4c): a campaign holds a small *target group*
+  of customers and walks attacks across them, so the bipartite
+  attacker-customer clustering coefficient (A5) rises near attacks.
+* **Weak signals** (§3.2): campaigns also run *aborted* preparations that
+  never culminate in an attack, so prep activity alone cannot be trusted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .attacks import ATTACK_TYPE_MIX, TYPE_TRANSITIONS, AttackType, signature_for
+from .world import Botnet, Customer
+
+__all__ = [
+    "PlannedAttack",
+    "PlannedPrep",
+    "CampaignConfig",
+    "Campaign",
+    "schedule_campaigns",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedAttack:
+    """One scheduled attack (the ground-truth anomaly of Figure 2).
+
+    ``onset`` is the anomaly-start minute; the volumetric ramp covers
+    ``[onset, onset + ramp_minutes)`` and the attack ends at ``end``
+    (exclusive).  ``peak_bytes`` is per-minute at the plateau.
+    """
+
+    campaign_id: int
+    botnet_id: int
+    customer_id: int
+    attack_type: AttackType
+    onset: int
+    end: int
+    peak_bytes: float
+    ramp_rate: float  # dR: max |d log2(rate) / dt| per minute (Appendix G)
+    n_sources: int
+    spoofed_fraction: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.onset
+
+    @property
+    def ramp_minutes(self) -> int:
+        """Minutes until the ramp reaches the plateau at rate ``2**dR``/min."""
+        start_fraction = 1.0 / 16.0  # ramp starts at peak/16
+        if self.ramp_rate <= 0:
+            return 0
+        return int(np.ceil(np.log2(1.0 / start_fraction) / self.ramp_rate))
+
+    def rate_at(self, minute: int) -> float:
+        """Anomalous bytes/minute at ``minute`` (0 outside the window)."""
+        if not self.onset <= minute < self.end:
+            return 0.0
+        if self.ramp_rate <= 0:
+            return self.peak_bytes
+        start = self.peak_bytes / 16.0
+        rate = start * 2.0 ** (self.ramp_rate * (minute - self.onset))
+        return float(min(rate, self.peak_bytes))
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedPrep:
+    """A preparation window preceding (or, if aborted, not preceding) an attack."""
+
+    campaign_id: int
+    botnet_id: int
+    customer_id: int
+    start: int
+    end: int  # exclusive; equals the attack onset for real preps
+    aborted: bool
+    spoofed_fraction: float
+
+
+@dataclass
+class CampaignConfig:
+    """Statistical shape of campaign behaviour."""
+
+    prep_days: float = 10.0
+    minutes_per_day: int = 1440
+    attacks_per_campaign_mean: float = 6.0
+    target_group_size: int = 3
+    inter_attack_gap_days: tuple[float, float] = (0.5, 4.0)
+    aborted_prep_rate: float = 0.5  # aborted preps per real attack
+    short_attack_fraction: float = 0.5   # < 5 "minutes" equivalent
+    spoofed_fraction_by_type: dict[AttackType, float] | None = None
+    source_participation: float = 0.6  # fraction of botnet active per attack
+    ramp_rate_range: tuple[float, float] = (0.5, 2.5)  # dR (Appendix G)
+    # Fig 4c: attacker groups move across group members within minutes —
+    # each attack spawns a correlated "echo" attack on another group member
+    # with this probability.
+    echo_probability: float = 0.4
+    echo_delay_range: tuple[int, int] = (2, 12)  # minutes after the primary
+
+
+_DEFAULT_SPOOF_FRACTION: dict[AttackType, float] = {
+    AttackType.UDP_FLOOD: 0.25,
+    AttackType.TCP_SYN: 0.5,
+    AttackType.TCP_RST: 0.3,
+    AttackType.TCP_ACK: 0.15,
+    AttackType.DNS_AMPLIFICATION: 0.0,  # resolvers are real hosts
+    AttackType.ICMP_FLOOD: 0.2,
+}
+
+# Probability that a given attack uses spoofing at all (Fig 4a: only 26.3%
+# of attacks have spoofed sources that convert to attackers; most floods
+# run entirely from real bots).
+_SPOOF_USE_PROBABILITY: dict[AttackType, float] = {
+    AttackType.UDP_FLOOD: 0.5,
+    AttackType.TCP_SYN: 0.8,
+    AttackType.TCP_RST: 0.5,
+    AttackType.TCP_ACK: 0.2,
+    AttackType.DNS_AMPLIFICATION: 0.0,
+    AttackType.ICMP_FLOOD: 0.3,
+}
+
+
+class Campaign:
+    """One attacker group's schedule against its target customer group."""
+
+    def __init__(
+        self,
+        campaign_id: int,
+        botnet: Botnet,
+        targets: list[Customer],
+        config: CampaignConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.campaign_id = campaign_id
+        self.botnet = botnet
+        self.targets = targets
+        self.config = config
+        self._rng = rng
+        self.attacks: list[PlannedAttack] = []
+        self.preps: list[PlannedPrep] = []
+
+    # ------------------------------------------------------------------
+    def _next_type(self, current: AttackType | None) -> AttackType:
+        """Sample the next attack type (Markov chain of Fig 4b)."""
+        if current is None:
+            types = list(ATTACK_TYPE_MIX)
+            probs = np.array([ATTACK_TYPE_MIX[t] for t in types])
+        else:
+            row = TYPE_TRANSITIONS[current]
+            types = list(row)
+            probs = np.array([row[t] for t in types])
+        probs = probs / probs.sum()
+        return types[int(self._rng.choice(len(types), p=probs))]
+
+    def _sample_duration(self) -> int:
+        """Attack duration in minutes, matching §2.3's short-attack skew.
+
+        63% of attacks are shorter than 5 minutes and ~74% shorter than
+        20 minutes in the paper's alert corpus.
+        """
+        u = self._rng.random()
+        if u < self.config.short_attack_fraction:
+            return int(self._rng.integers(2, 6))  # short
+        if u < 0.78:
+            return int(self._rng.integers(6, 21))  # medium
+        return int(self._rng.integers(21, 90))  # long
+
+    def plan(self, horizon_minutes: int, start_minute: int = 0) -> None:
+        """Fill ``attacks`` and ``preps`` over ``[start, horizon)``."""
+        cfg = self.config
+        rng = self._rng
+        prep_minutes = int(cfg.prep_days * cfg.minutes_per_day)
+        spoof_of = cfg.spoofed_fraction_by_type or _DEFAULT_SPOOF_FRACTION
+
+        n_attacks = max(1, int(rng.poisson(cfg.attacks_per_campaign_mean)))
+        # First onset leaves room for a full preparation window.
+        cursor = start_minute + prep_minutes + int(
+            rng.uniform(0, 2 * cfg.minutes_per_day)
+        )
+        current_type: AttackType | None = None
+        target_idx = int(rng.integers(len(self.targets)))
+
+        for _ in range(n_attacks):
+            if cursor >= horizon_minutes:
+                break
+            current_type = self._next_type(current_type)
+            # Correlated targets: usually stay, sometimes move within group.
+            if rng.random() < 0.25:
+                target_idx = int(rng.integers(len(self.targets)))
+            target = self.targets[target_idx]
+
+            duration = self._sample_duration()
+            onset = cursor
+            end = min(onset + duration, horizon_minutes)
+            peak = target.base_rate_bytes * float(rng.uniform(4.0, 40.0))
+            ramp_rate = float(rng.uniform(*cfg.ramp_rate_range))
+            n_sources = max(
+                5, int(cfg.source_participation * self.botnet.size * rng.uniform(0.5, 1.0))
+            )
+            use_spoofing = rng.random() < _SPOOF_USE_PROBABILITY.get(current_type, 0.3)
+            spoofed = spoof_of.get(current_type, 0.0) if use_spoofing else 0.0
+
+            self.attacks.append(
+                PlannedAttack(
+                    campaign_id=self.campaign_id,
+                    botnet_id=self.botnet.botnet_id,
+                    customer_id=target.customer_id,
+                    attack_type=current_type,
+                    onset=onset,
+                    end=end,
+                    peak_bytes=peak,
+                    ramp_rate=ramp_rate,
+                    n_sources=n_sources,
+                    spoofed_fraction=spoofed,
+                )
+            )
+            self.preps.append(
+                PlannedPrep(
+                    campaign_id=self.campaign_id,
+                    botnet_id=self.botnet.botnet_id,
+                    customer_id=target.customer_id,
+                    start=max(start_minute, onset - prep_minutes),
+                    end=onset,
+                    aborted=False,
+                    spoofed_fraction=spoofed,
+                )
+            )
+            # Correlated echo attack on another group member (Fig 4c): same
+            # botnet, same type, minutes later.
+            if len(self.targets) > 1 and rng.random() < cfg.echo_probability:
+                others = [t for t in self.targets if t.customer_id != target.customer_id]
+                echo_target = others[int(rng.integers(len(others)))]
+                echo_onset = onset + int(rng.integers(*cfg.echo_delay_range))
+                echo_duration = max(4, int(duration * 0.75))
+                echo_end = min(echo_onset + echo_duration, horizon_minutes)
+                if echo_end > echo_onset:
+                    self.attacks.append(
+                        PlannedAttack(
+                            campaign_id=self.campaign_id,
+                            botnet_id=self.botnet.botnet_id,
+                            customer_id=echo_target.customer_id,
+                            attack_type=current_type,
+                            onset=echo_onset,
+                            end=echo_end,
+                            peak_bytes=echo_target.base_rate_bytes * float(rng.uniform(4.0, 20.0)),
+                            ramp_rate=ramp_rate,
+                            n_sources=n_sources,
+                            spoofed_fraction=spoofed,
+                        )
+                    )
+                    self.preps.append(
+                        PlannedPrep(
+                            campaign_id=self.campaign_id,
+                            botnet_id=self.botnet.botnet_id,
+                            customer_id=echo_target.customer_id,
+                            start=max(start_minute, echo_onset - prep_minutes),
+                            end=echo_onset,
+                            aborted=False,
+                            spoofed_fraction=spoofed,
+                        )
+                    )
+            gap_days = rng.uniform(*cfg.inter_attack_gap_days)
+            cursor = end + int(gap_days * cfg.minutes_per_day)
+
+        # Aborted preparations on random group members (weak-signal noise).
+        n_aborted = int(rng.poisson(cfg.aborted_prep_rate * max(1, len(self.attacks))))
+        for _ in range(n_aborted):
+            target = self.targets[int(rng.integers(len(self.targets)))]
+            start = int(rng.uniform(start_minute, max(start_minute + 1, horizon_minutes - prep_minutes)))
+            self.preps.append(
+                PlannedPrep(
+                    campaign_id=self.campaign_id,
+                    botnet_id=self.botnet.botnet_id,
+                    customer_id=target.customer_id,
+                    start=start,
+                    end=min(start + prep_minutes, horizon_minutes),
+                    aborted=True,
+                    spoofed_fraction=0.2,
+                )
+            )
+
+
+def schedule_campaigns(
+    botnets: list[Botnet],
+    customers: list[Customer],
+    horizon_minutes: int,
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    campaigns_per_botnet: int = 1,
+) -> list[Campaign]:
+    """Create and plan campaigns: each botnet attacks a small customer group.
+
+    Target groups may overlap between botnets (the Figure 4c pattern where
+    several attacker groups hit overlapping customer sets).
+    """
+    campaigns: list[Campaign] = []
+    cid = 0
+    n_customers = len(customers)
+    cursor = 0
+    for botnet in botnets:
+        for _ in range(campaigns_per_botnet):
+            size = min(config.target_group_size, n_customers)
+            # Mostly-disjoint primary targets (round-robin chunks) keep the
+            # same-type streaks of Fig 4b per customer; an occasional shared
+            # extra target creates the attacker-overlap of Fig 4c.
+            targets = [customers[(cursor + i) % n_customers] for i in range(size)]
+            cursor += size
+            if rng.random() < 0.3 and n_customers > size:
+                extra = customers[int(rng.integers(n_customers))]
+                if extra not in targets:
+                    targets.append(extra)
+            campaign = Campaign(cid, botnet, targets, config, rng)
+            campaign.plan(horizon_minutes)
+            campaigns.append(campaign)
+            cid += 1
+    return campaigns

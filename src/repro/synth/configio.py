@@ -1,0 +1,49 @@
+"""Scenario config files: JSON (de)serialization for ScenarioConfig.
+
+Lets CLI users and experiment scripts pin a scenario in a versionable file
+instead of command-line flags:
+
+    python -m repro.cli pipeline --config my_scenario.json
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .scenario import ScenarioConfig
+
+__all__ = ["scenario_to_json", "scenario_from_json", "load_scenario_file", "save_scenario_file"]
+
+_TUPLE_FIELDS = ("sampling_rates",)
+
+
+def scenario_to_json(config: ScenarioConfig) -> str:
+    """Render a scenario config as pretty JSON."""
+    return json.dumps(dataclasses.asdict(config), indent=2, sort_keys=True)
+
+
+def scenario_from_json(text: str) -> ScenarioConfig:
+    """Parse a scenario config from JSON, validating field names."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("scenario config must be a JSON object")
+    known = {f.name for f in dataclasses.fields(ScenarioConfig)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+    for name in _TUPLE_FIELDS:
+        if data.get(name) is not None:
+            data[name] = tuple(data[name])
+    return ScenarioConfig(**data)
+
+
+def save_scenario_file(config: ScenarioConfig, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(scenario_to_json(config))
+    return path
+
+
+def load_scenario_file(path: str | Path) -> ScenarioConfig:
+    return scenario_from_json(Path(path).read_text())

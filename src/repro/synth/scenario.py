@@ -1,0 +1,493 @@
+"""End-to-end trace generation: world → flows → sampled NetFlow → matrix.
+
+:class:`TraceGenerator` advances the synthetic world minute by minute,
+emitting benign traffic, preparation probes, and attack floods; runs them
+through packet sampling; tags every sampled flow with its auxiliary source
+classes; and folds everything into a :class:`~repro.netflow.TrafficMatrix`.
+
+The output :class:`Trace` bundles the matrix with the ground-truth
+:class:`AttackEvent` records (onset/end/sources/anomalous byte series) that
+the detectors, the trainer, and every evaluation figure consume.
+
+Scale compression: the paper's trace is 100 days at 1440 min/day.  The
+``minutes_per_day`` knob lets tests and benchmarks run a *compressed day*
+(e.g. 120 "minutes") while every window (prep days, history length,
+timescales) scales through the same :class:`ScenarioConfig`, so the shape of
+the learning problem is preserved at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..netflow.matrix import (
+    SOURCE_CLASS_BLOCKLIST,
+    SOURCE_CLASS_PREV_ATTACKER,
+    SOURCE_CLASS_SPOOFED,
+    TrafficMatrix,
+)
+from ..netflow.records import FlowRecord
+from ..netflow.sampler import PacketSampler
+from .attacks import AttackSignature, AttackType, generate_attack_flows, signature_for
+from .benign import BenignConfig, BenignTrafficModel
+from .campaign import Campaign, CampaignConfig, PlannedAttack, PlannedPrep, schedule_campaigns
+from .world import IspWorld, WorldConfig
+
+__all__ = ["ScenarioConfig", "AttackEvent", "Trace", "TraceGenerator"]
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to synthesize one dataset.
+
+    ``total_days`` / ``minutes_per_day`` fix the horizon; ``prep_days``
+    is the auxiliary-signal lookback of §3 (10 days in the paper).
+    """
+
+    total_days: float = 100.0
+    minutes_per_day: int = 1440
+    prep_days: float = 10.0
+    n_customers: int = 20
+    n_botnets: int = 6
+    botnet_size: int = 400
+    campaigns_per_botnet: int = 1
+    sampling_rate: int = 1
+    # Per-POP heterogeneous sampling (§5.1: "1:1 to 1:10,000 at various
+    # routers").  When set, each customer's ingress POP is assigned one of
+    # these rates round-robin and ``sampling_rate`` is ignored.
+    sampling_rates: tuple[int, ...] | None = None
+    benign_flows_per_minute: int = 6
+    seed: int = 7
+    # Smart-attacker knobs (§6.4): pin every attack's ramp-up dR, and/or
+    # scale attack volume during the ramp-up (pre-plateau) phase so a
+    # volume-changing attacker stays under CDet's radar longer.
+    ramp_rate: float | None = None
+    rampup_volume_scale: float = 1.0
+    # §8 limitation scenario: a determined attacker using brand-new sources
+    # for every attack (defeating A2) and skipping preparation probes
+    # (muting A1/A3 prep signals).
+    fresh_sources: bool = False
+    skip_preparation: bool = False
+    # Campaign shape knobs (None = CampaignConfig defaults).
+    attacks_per_campaign: float | None = None
+    target_group_size: int | None = None
+    echo_probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.total_days <= 0 or self.minutes_per_day < 1:
+            raise ValueError("scenario horizon must be positive")
+        if self.prep_days < 0:
+            raise ValueError("prep_days must be non-negative")
+        if self.prep_days >= self.total_days:
+            raise ValueError(
+                "prep_days must be shorter than the horizon "
+                f"({self.prep_days} vs {self.total_days} days)"
+            )
+        if self.n_customers < 1 or self.n_botnets < 1 or self.botnet_size < 1:
+            raise ValueError("population sizes must be >= 1")
+        if self.sampling_rate < 1:
+            raise ValueError("sampling_rate is 1:N with N >= 1")
+        if self.sampling_rates is not None and (
+            not self.sampling_rates or any(r < 1 for r in self.sampling_rates)
+        ):
+            raise ValueError("sampling_rates must be a non-empty tuple of N >= 1")
+        if self.rampup_volume_scale <= 0:
+            raise ValueError("rampup_volume_scale must be positive")
+        if self.ramp_rate is not None and self.ramp_rate <= 0:
+            raise ValueError("ramp_rate (dR) must be positive")
+        if self.attacks_per_campaign is not None and self.attacks_per_campaign <= 0:
+            raise ValueError("attacks_per_campaign must be positive")
+        if self.target_group_size is not None and self.target_group_size < 1:
+            raise ValueError("target_group_size must be >= 1")
+        if self.echo_probability is not None and not 0.0 <= self.echo_probability <= 1.0:
+            raise ValueError("echo_probability must be in [0, 1]")
+
+    @property
+    def horizon_minutes(self) -> int:
+        return int(self.total_days * self.minutes_per_day)
+
+    @property
+    def prep_minutes(self) -> int:
+        return int(self.prep_days * self.minutes_per_day)
+
+    def world_config(self) -> WorldConfig:
+        return WorldConfig(
+            n_customers=self.n_customers,
+            n_botnets=self.n_botnets,
+            botnet_size=self.botnet_size,
+            seed=self.seed,
+        )
+
+    def campaign_config(self) -> CampaignConfig:
+        ramp_range = (
+            (self.ramp_rate, self.ramp_rate)
+            if self.ramp_rate is not None
+            else (0.5, 2.5)
+        )
+        config = CampaignConfig(
+            prep_days=self.prep_days,
+            minutes_per_day=self.minutes_per_day,
+            ramp_rate_range=ramp_range,
+        )
+        if self.attacks_per_campaign is not None:
+            config.attacks_per_campaign_mean = self.attacks_per_campaign
+        if self.target_group_size is not None:
+            config.target_group_size = self.target_group_size
+        if self.echo_probability is not None:
+            config.echo_probability = self.echo_probability
+        return config
+
+    def benign_config(self) -> BenignConfig:
+        return BenignConfig(
+            minutes_per_day=self.minutes_per_day,
+            flows_per_minute=self.benign_flows_per_minute,
+        )
+
+
+@dataclass
+class AttackEvent:
+    """Ground truth for one attack, as recovered for evaluation (§2.3).
+
+    ``anomalous_bytes`` is the per-minute anomalous byte series over
+    ``[onset, end)`` — Area A of Figure 2 — used by the effectiveness and
+    overhead metrics.  ``attackers`` is the set of source addresses whose
+    flows matched the signature during the attack (it may include benign
+    sources, exactly the imperfection §5.1 notes).
+    """
+
+    event_id: int
+    customer_id: int
+    customer_address: int
+    attack_type: AttackType
+    onset: int
+    end: int
+    signature: AttackSignature
+    peak_bytes: float
+    ramp_rate: float
+    campaign_id: int
+    botnet_id: int
+    anomalous_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    attackers: set[int] = field(default_factory=set)
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.onset
+
+    def duration_class(self) -> str:
+        """short (<5 min) / medium (<20 min) / long buckets, as in Figure 3.
+
+        Attack durations are in real minutes regardless of the day
+        compression knob, so the paper's absolute cuts apply directly.
+        """
+        if self.duration < 5:
+            return "short"
+        if self.duration < 20:
+            return "medium"
+        return "long"
+
+
+@dataclass
+class Trace:
+    """A complete synthetic dataset: traffic matrix + ground truth."""
+
+    config: ScenarioConfig
+    world: IspWorld
+    matrix: TrafficMatrix
+    events: list[AttackEvent]
+    preps: list[PlannedPrep]
+    horizon: int
+    total_flows: int
+    sampled_flows: int
+
+    def events_for_customer(self, customer_id: int) -> list[AttackEvent]:
+        return [e for e in self.events if e.customer_id == customer_id]
+
+    def events_by_type(self, attack_type: AttackType) -> list[AttackEvent]:
+        return [e for e in self.events if e.attack_type == attack_type]
+
+
+class TraceGenerator:
+    """Drives the synthetic world and materializes a :class:`Trace`."""
+
+    def __init__(
+        self,
+        config: ScenarioConfig | None = None,
+        blocklist_membership=None,
+    ) -> None:
+        """``blocklist_membership`` is any object supporting ``addr in x``
+        (e.g. a :class:`repro.signals.BlocklistDirectory`); when omitted the
+        ground-truth listed-bot set is used for A1 tagging."""
+        self.config = config or ScenarioConfig()
+        self._rng = np.random.default_rng(self.config.seed + 1)
+        self.world = IspWorld(self.config.world_config())
+        self._benign = BenignTrafficModel(
+            self.world.benign_clients,
+            self.world.country_of,
+            self.config.benign_config(),
+            rng=np.random.default_rng(self.config.seed + 2),
+        )
+        rates = self.config.sampling_rates or (self.config.sampling_rate,)
+        sampler_rng = np.random.default_rng(self.config.seed + 3)
+        self._samplers = [PacketSampler(r, rng=sampler_rng) for r in rates]
+        # Each customer's ingress POP uses one sampler (round-robin).
+        self._sampler_of = {
+            c.customer_id: self._samplers[i % len(self._samplers)]
+            for i, c in enumerate(self.world.customers)
+        }
+        # Blocklisted /24 ground truth is the union over botnets; the
+        # signals.BlocklistDirectory adds category structure and noise on top.
+        self.blocklisted_addrs: set[int] = set()
+        for botnet in self.world.botnets:
+            self.blocklisted_addrs.update(int(a) for a in botnet.blocklisted_members)
+        self._blocklist = (
+            blocklist_membership if blocklist_membership is not None
+            else self.blocklisted_addrs
+        )
+
+    # ------------------------------------------------------------------
+    def _attack_sources(
+        self, attack: PlannedAttack, rng: np.random.Generator
+    ) -> tuple[np.ndarray, dict[int, str]]:
+        """Pick the source pool for one attack (bots + spoofed/resolvers)."""
+        if self.config.fresh_sources:
+            # §8 limitation: a determined attacker recruits brand-new hosts
+            # per attack — never blocklisted, never previous attackers.
+            base = int(0x2F000000 + attack.campaign_id * 2**20 + attack.onset * 256)
+            fresh = base + rng.choice(200000, size=attack.n_sources, replace=False)
+            fresh = fresh.astype(np.int64)
+            self.world.route_table.announce(
+                (int(fresh.min()), int(fresh.max())), 64900 + attack.campaign_id
+            )
+            return fresh, {int(a): "US" for a in fresh}
+        botnet = self.world.botnets[attack.botnet_id]
+        n_real = min(attack.n_sources, botnet.size)
+        real = rng.choice(botnet.members, size=n_real, replace=False)
+        country_of = dict(botnet.country_of)
+
+        if attack.attack_type is AttackType.DNS_AMPLIFICATION:
+            # Reflection: traffic arrives from open resolvers, not bots.
+            n_refl = min(len(self.world.resolvers), max(20, n_real // 2))
+            reflectors = rng.choice(self.world.resolvers, size=n_refl, replace=False)
+            for a in reflectors:
+                country_of[int(a)] = "US"
+            return reflectors.astype(np.int64), country_of
+
+        n_spoofed = int(attack.spoofed_fraction * n_real)
+        if n_spoofed:
+            half = n_spoofed // 2
+            spoofed = np.concatenate(
+                [self.world.bogon_pool(half or 1), self.world.unrouted_pool(n_spoofed - half or 1)]
+            )[:n_spoofed]
+            for a in spoofed:
+                country_of[int(a)] = "US"
+            sources = np.concatenate([real[: n_real - n_spoofed], spoofed])
+        else:
+            sources = real
+        return sources.astype(np.int64), country_of
+
+    def _prep_flows(
+        self,
+        prep: PlannedPrep,
+        minute: int,
+        rng: np.random.Generator,
+    ) -> list[FlowRecord]:
+        """Low-rate probe traffic during a preparation window.
+
+        The active fraction of eventual sources rises toward the attack
+        (Figure 15: median blocklisted-source reappearance grows from ~66%
+        five days out to ~93% one day out).
+        """
+        span = max(1, prep.end - prep.start)
+        progress = (minute - prep.start) / span  # 0 → 1 approaching onset
+        botnet = self.world.botnets[prep.botnet_id]
+        active_fraction = 0.05 + 0.30 * progress
+        n_active = max(1, int(active_fraction * botnet.size * 0.05))
+        # Probing favours blocklisted members (they are the reused, noisy bots).
+        pool = botnet.blocklisted_members if rng.random() < 0.7 else botnet.members
+        sources = rng.choice(pool, size=min(n_active, len(pool)), replace=False)
+
+        customer = self.world.customers[prep.customer_id]
+        flows: list[FlowRecord] = []
+        for src in sources:
+            flows.append(
+                FlowRecord(
+                    timestamp=minute,
+                    src_addr=int(src),
+                    dst_addr=customer.address,
+                    src_port=int(rng.integers(1024, 65535)),
+                    dst_port=int(rng.choice([80, 443, 53, 0])),
+                    protocol=int(rng.choice([6, 17])),
+                    packets=int(rng.integers(1, 8)),
+                    bytes_=int(rng.integers(60, 1500)),
+                    tcp_flags=2 if rng.random() < 0.5 else 0,
+                    src_country=botnet.country_of.get(int(src), "US"),
+                )
+            )
+        # Occasional spoofed probes.
+        if prep.spoofed_fraction > 0 and rng.random() < prep.spoofed_fraction * progress:
+            for src in self.world.bogon_pool(max(1, n_active // 4)):
+                flows.append(
+                    FlowRecord(
+                        timestamp=minute,
+                        src_addr=int(src),
+                        dst_addr=customer.address,
+                        src_port=int(rng.integers(1024, 65535)),
+                        dst_port=443,
+                        protocol=6,
+                        packets=1,
+                        bytes_=60,
+                        tcp_flags=2,
+                        src_country="US",
+                    )
+                )
+        return flows
+
+    # ------------------------------------------------------------------
+    def generate(self) -> Trace:
+        """Run the full simulation and return the materialized trace."""
+        cfg = self.config
+        rng = self._rng
+        horizon = cfg.horizon_minutes
+
+        campaigns = schedule_campaigns(
+            self.world.botnets,
+            self.world.customers,
+            horizon,
+            cfg.campaign_config(),
+            rng,
+            campaigns_per_botnet=cfg.campaigns_per_botnet,
+        )
+        planned: list[PlannedAttack] = sorted(
+            (a for c in campaigns for a in c.attacks), key=lambda a: a.onset
+        )
+        preps: list[PlannedPrep] = [p for c in campaigns for p in c.preps]
+
+        events: list[AttackEvent] = []
+        for i, attack in enumerate(planned):
+            customer = self.world.customers[attack.customer_id]
+            events.append(
+                AttackEvent(
+                    event_id=i,
+                    customer_id=attack.customer_id,
+                    customer_address=customer.address,
+                    attack_type=attack.attack_type,
+                    onset=attack.onset,
+                    end=attack.end,
+                    signature=signature_for(attack.attack_type, customer.address),
+                    peak_bytes=attack.peak_bytes,
+                    ramp_rate=attack.ramp_rate,
+                    campaign_id=attack.campaign_id,
+                    botnet_id=attack.botnet_id,
+                    anomalous_bytes=np.zeros(attack.end - attack.onset),
+                )
+            )
+
+        # Per-attack fixed source pools (reused every minute of the attack —
+        # bots persist within an attack).
+        source_pools = {
+            e.event_id: self._attack_sources(planned[e.event_id], rng) for e in events
+        }
+
+        matrix = TrafficMatrix()
+        prev_attackers: dict[int, set[int]] = {c.customer_id: set() for c in self.world.customers}
+        # Index events/preps by active minute ranges for the sweep.
+        events_by_onset = sorted(events, key=lambda e: e.onset)
+        active_events: list[AttackEvent] = []
+        event_cursor = 0
+        spoof_cache: dict[int, bool] = {}
+
+        total_flows = 0
+        sampled_count = 0
+
+        for minute in range(horizon):
+            # Activate/retire events.
+            while event_cursor < len(events_by_onset) and events_by_onset[event_cursor].onset <= minute:
+                active_events.append(events_by_onset[event_cursor])
+                event_cursor += 1
+            finished = [e for e in active_events if e.end <= minute]
+            for e in finished:
+                prev_attackers[e.customer_id].update(e.attackers)
+            active_events = [e for e in active_events if e.end > minute]
+
+            minute_flows: list[tuple[int, FlowRecord]] = []  # (customer_id, flow)
+
+            # Benign traffic for every customer.
+            for customer in self.world.customers:
+                for flow in self._benign.flows_at(customer, minute):
+                    minute_flows.append((customer.customer_id, flow))
+
+            # Preparation probes (suppressed in the §8 evasion scenario).
+            if not cfg.skip_preparation:
+                for prep in preps:
+                    if prep.start <= minute < prep.end:
+                        for flow in self._prep_flows(prep, minute, rng):
+                            minute_flows.append((prep.customer_id, flow))
+
+            # Attack floods.
+            for event in active_events:
+                attack = planned[event.event_id]
+                rate = attack.rate_at(minute)
+                if rate <= 0:
+                    continue
+                if rate < attack.peak_bytes and cfg.rampup_volume_scale != 1.0:
+                    rate *= cfg.rampup_volume_scale
+                sources, country_of = source_pools[event.event_id]
+                # A per-minute subset participates (rotating bots).
+                k = max(3, int(len(sources) * min(1.0, 0.3 + 0.7 * rate / attack.peak_bytes)))
+                subset = rng.choice(sources, size=min(k, len(sources)), replace=False)
+                flows = generate_attack_flows(
+                    event.attack_type,
+                    minute,
+                    event.customer_address,
+                    subset,
+                    rate,
+                    rng,
+                    country_of=country_of,
+                )
+                for flow in flows:
+                    minute_flows.append((event.customer_id, flow))
+
+            # Sample, tag, aggregate — and fold signature-matching bytes into
+            # the per-event anomalous series / attacker sets.
+            for customer_id, flow in minute_flows:
+                total_flows += 1
+                sampled = self._sampler_of[customer_id].sample(flow)
+                if sampled is None:
+                    continue
+                sampled_count += 1
+                classes: list[str] = []
+                if sampled.src_addr in self._blocklist:
+                    classes.append(SOURCE_CLASS_BLOCKLIST)
+                if sampled.src_addr in prev_attackers[customer_id]:
+                    classes.append(SOURCE_CLASS_PREV_ATTACKER)
+                spoofed = spoof_cache.get(sampled.src_addr)
+                if spoofed is None:
+                    spoofed = self.world.route_table.is_spoofed(sampled.src_addr)
+                    spoof_cache[sampled.src_addr] = spoofed
+                if spoofed:
+                    classes.append(SOURCE_CLASS_SPOOFED)
+                # Provenance class for autoregressive A2 recomputation.
+                for event in active_events:
+                    if event.customer_id == customer_id and event.signature.matches(sampled):
+                        classes.append(f"botnet:{event.botnet_id}")
+                        event.attackers.add(sampled.src_addr)
+                        event.anomalous_bytes[minute - event.onset] += sampled.estimated_bytes
+                        break
+                matrix.add_flow(customer_id, sampled, classes)
+
+        # Events cut short by the horizon still need their attackers folded in.
+        for e in active_events:
+            prev_attackers[e.customer_id].update(e.attackers)
+
+        return Trace(
+            config=cfg,
+            world=self.world,
+            matrix=matrix,
+            events=events,
+            preps=preps,
+            horizon=horizon,
+            total_flows=total_flows,
+            sampled_flows=sampled_count,
+        )

@@ -1,0 +1,61 @@
+"""Shared fixtures: expensive artefacts are built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, TimescaleSpec, TrainConfig, XatuModelConfig
+from repro.synth import ScenarioConfig, TraceGenerator
+
+
+def small_scenario(seed: int = 3) -> ScenarioConfig:
+    return ScenarioConfig(
+        total_days=16,
+        minutes_per_day=120,
+        prep_days=2,
+        n_customers=8,
+        n_botnets=4,
+        botnet_size=100,
+        campaigns_per_botnet=2,
+        seed=seed,
+    )
+
+
+def small_model_config() -> XatuModelConfig:
+    return XatuModelConfig(
+        hidden_size=12,
+        dense_size=8,
+        detect_window=10,
+        timescales=(
+            TimescaleSpec("short", 1, 60),
+            TimescaleSpec("medium", 5, 36),
+            TimescaleSpec("long", 20, 12),
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trace():
+    """One shared synthetic trace for read-only tests."""
+    return TraceGenerator(small_scenario()).generate()
+
+
+@pytest.fixture(scope="session")
+def pipeline_result():
+    """One shared end-to-end pipeline run (the expensive integration artefact)."""
+    from repro.core import XatuPipeline
+
+    config = PipelineConfig(
+        scenario=small_scenario(),
+        model=small_model_config(),
+        train=TrainConfig(epochs=5, batch_size=8, learning_rate=3e-3),
+        overhead_bound=0.25,
+    )
+    pipeline = XatuPipeline(config)
+    return pipeline, pipeline.run()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

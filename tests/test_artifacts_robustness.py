@@ -1,0 +1,69 @@
+"""Pipeline artifact persistence and a robustness-runner smoke test."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, TrainConfig, XatuModelRegistry, XatuPipeline
+from repro.synth import ScenarioConfig
+from tests.conftest import small_model_config
+
+
+def quick_config(**overrides):
+    base = PipelineConfig(
+        scenario=ScenarioConfig(
+            total_days=10, minutes_per_day=100, prep_days=1.5,
+            n_customers=5, n_botnets=2, botnet_size=60, seed=9,
+        ),
+        model=small_model_config(),
+        train=TrainConfig(epochs=1, batch_size=8, learning_rate=3e-3),
+        overhead_bound=0.5,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestArtifactPersistence:
+    def test_save_before_run_rejected(self, tmp_path):
+        pipeline = XatuPipeline(quick_config())
+        with pytest.raises(RuntimeError, match="run"):
+            pipeline.save_artifacts(tmp_path / "a")
+
+    def test_single_model_roundtrip(self, tmp_path):
+        pipeline = XatuPipeline(quick_config())
+        result = pipeline.run()
+        pipeline.save_artifacts(tmp_path / "artifacts")
+        restored = XatuModelRegistry.load(tmp_path / "artifacts")
+        entry = restored.entry_for(None)
+        assert entry.threshold == pytest.approx(result.calibration.threshold)
+        cfg = restored.model_config
+        rng = np.random.default_rng(0)
+        x = entry.scaler.transform(
+            rng.normal(size=(cfg.lookback_minutes, cfg.n_features))
+        )[None]
+        assert entry.model.hazards_np(x).shape == (1, cfg.detect_window)
+
+    def test_per_type_run_saves_registry(self, tmp_path):
+        pipeline = XatuPipeline(quick_config(per_type=True, min_events_per_type=3))
+        pipeline.run()
+        pipeline.save_artifacts(tmp_path / "reg")
+        restored = XatuModelRegistry.load(tmp_path / "reg")
+        assert "_default" in restored.entries
+
+
+class TestRobustnessRunnerSmoke:
+    def test_volume_sweep_produces_all_points(self):
+        from repro.eval import run_volume_sweep
+
+        points = run_volume_sweep(quick_config(), scales=[1.0])
+        assert {p.variant for p in points} == {"xatu", "xatu_no_aux"}
+        for p in points:
+            assert p.knob == "rampup_volume_scale"
+            assert 0.0 <= p.effectiveness_median <= 1.0
+
+    def test_rate_sweep_pins_ramp_rate(self):
+        from repro.eval import run_rate_sweep
+
+        points = run_rate_sweep(quick_config(), rates=[1.5])
+        assert len(points) == 2
+        assert all(p.value == 1.5 for p in points)

@@ -1,0 +1,117 @@
+"""Additional edge-case coverage for the autograd engine."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, gradcheck, no_grad
+
+
+class TestMatmulVariants:
+    def test_vector_vector_dot(self, rng):
+        a = Tensor(rng.normal(size=4), requires_grad=True)
+        b = Tensor(rng.normal(size=4), requires_grad=True)
+        out = a @ b
+        assert out.numpy() == pytest.approx(a.numpy() @ b.numpy())
+        gradcheck(lambda a, b: a @ b, [a, b])
+
+    def test_matrix_vector(self, rng):
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = rng.normal(size=4)
+        out = a @ Tensor(b)
+        assert out.shape == (3,)
+        gradcheck(lambda a: (a @ Tensor(b)).sum(), [a])
+
+    def test_chained_matmul_gradcheck(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3, 3)), requires_grad=True)
+        c = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda a, b, c: ((a @ b @ c) ** 2).sum(), [a, b, c])
+
+
+class TestReuseAndGraphs:
+    def test_tensor_reused_in_two_branches(self):
+        """Gradient accumulates correctly across graph branches."""
+        a = Tensor(3.0, requires_grad=True)
+        out = a * a + a * 2.0  # d/da = 2a + 2 = 8
+        out.backward()
+        assert a.grad == pytest.approx(8.0)
+
+    def test_diamond_graph(self, rng):
+        a = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        gradcheck(lambda a: ((a.sigmoid() * a.tanh()).sum()), [a])
+
+    def test_backward_twice_on_separate_graphs(self):
+        a = Tensor(2.0, requires_grad=True)
+        (a * 3.0).backward()
+        (a * 4.0).backward()
+        assert a.grad == pytest.approx(7.0)
+
+    def test_constant_branches_skipped(self):
+        a = Tensor(2.0, requires_grad=True)
+        constant = Tensor(5.0)  # no grad
+        out = a * constant
+        out.backward()
+        assert a.grad == pytest.approx(5.0)
+        assert constant.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        """The iterative topo-sort handles 5000-op chains."""
+        a = Tensor(1.0, requires_grad=True)
+        out = a
+        for _ in range(5000):
+            out = out * 1.0001
+        out.backward()
+        assert a.grad is not None and np.isfinite(a.grad)
+
+
+class TestNoGradInterop:
+    def test_mixed_graph_segments(self):
+        a = Tensor(2.0, requires_grad=True)
+        with no_grad():
+            frozen = a * 3.0  # constant 6, not on tape
+        out = a * frozen
+        out.backward()
+        # d(a * 6)/da = 6 (frozen treated as constant)
+        assert a.grad == pytest.approx(6.0)
+
+    def test_nested_no_grad(self):
+        from repro.nn.autograd import is_grad_enabled
+
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+
+class TestShapesAndBroadcast:
+    def test_scalar_broadcast_against_matrix(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (a * s).sum().backward()
+        assert s.grad == pytest.approx(a.numpy().sum())
+
+    def test_keepdims_sum_then_divide(self, rng):
+        """Softmax-like normalization composes correctly."""
+        a = Tensor(np.abs(rng.normal(size=(2, 4))) + 0.1, requires_grad=True)
+
+        def normalize(a):
+            total = a.sum(axis=1, keepdims=True)
+            return ((a / total) ** 2).sum()
+
+        gradcheck(normalize, [a])
+
+    def test_transpose_default_reverses_all_axes(self, rng):
+        a = Tensor(rng.normal(size=(2, 3, 4)))
+        assert a.T.shape == (4, 3, 2)
+
+    def test_stack_middle_axis(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        out = Tensor.stack([a, b], axis=1)
+        assert out.shape == (2, 2, 3)
+        gradcheck(lambda a, b: (Tensor.stack([a, b], axis=1) ** 2).sum(), [a, b])
+
+    def test_cumsum_axis0(self, rng):
+        a = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+        gradcheck(lambda a: (a.cumsum(axis=0) ** 2).sum(), [a])

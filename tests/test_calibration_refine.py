@@ -1,0 +1,63 @@
+"""Tests for the calibration bisection refinement."""
+
+import numpy as np
+import pytest
+
+from repro.survival import ThresholdCalibrator
+
+
+def monotone_evaluate(threshold: float):
+    """Effectiveness and overhead both rise with the threshold."""
+    return min(1.0, 0.3 + threshold), np.full(4, threshold * 0.4)
+
+
+class TestRefinement:
+    def test_refined_threshold_closer_to_boundary(self):
+        bound = 0.1  # feasible iff threshold <= 0.25
+        coarse = ThresholdCalibrator(thresholds=[0.1, 0.5, 0.9]).calibrate(
+            monotone_evaluate, bound
+        )
+        fine = ThresholdCalibrator(
+            thresholds=[0.1, 0.5, 0.9], refine_steps=6
+        ).calibrate(monotone_evaluate, bound)
+        assert coarse.threshold == 0.1
+        assert fine.threshold > coarse.threshold
+        assert fine.threshold <= 0.25 + 1e-9
+        assert fine.effectiveness > coarse.effectiveness
+
+    def test_refined_result_stays_feasible(self):
+        fine = ThresholdCalibrator(refine_steps=8).calibrate(
+            monotone_evaluate, overhead_bound=0.17
+        )
+        assert fine.feasible
+        assert fine.overhead_p75 <= 0.17 + 1e-9
+
+    def test_zero_steps_identical_to_grid(self):
+        grid = ThresholdCalibrator(thresholds=[0.2, 0.6]).calibrate(
+            monotone_evaluate, 0.1
+        )
+        same = ThresholdCalibrator(thresholds=[0.2, 0.6], refine_steps=0).calibrate(
+            monotone_evaluate, 0.1
+        )
+        assert grid.threshold == same.threshold
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdCalibrator(refine_steps=-1)
+
+    def test_refinement_counts_evaluations(self):
+        result = ThresholdCalibrator(
+            thresholds=[0.2, 0.6], refine_steps=4
+        ).calibrate(monotone_evaluate, 0.1)
+        assert result.evaluations == 2 + 4
+
+    def test_best_at_top_of_grid_refines_toward_one(self):
+        """When every grid point is feasible, refinement probes above."""
+
+        def always_feasible(threshold):
+            return threshold, np.zeros(3)
+
+        result = ThresholdCalibrator(
+            thresholds=[0.3, 0.7], refine_steps=5
+        ).calibrate(always_feasible, overhead_bound=1.0)
+        assert result.threshold > 0.7

@@ -1,0 +1,118 @@
+"""Tests for campaign shape knobs and echo (correlated) attacks."""
+
+import numpy as np
+import pytest
+
+from repro.synth import Campaign, CampaignConfig, IspWorld, ScenarioConfig, TraceGenerator, WorldConfig
+
+
+def base_scenario(**overrides):
+    defaults = dict(
+        total_days=10, minutes_per_day=100, prep_days=1.5,
+        n_customers=6, n_botnets=2, botnet_size=60, seed=9,
+    )
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestScenarioCampaignKnobs:
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            base_scenario(attacks_per_campaign=0)
+        with pytest.raises(ValueError):
+            base_scenario(target_group_size=0)
+        with pytest.raises(ValueError):
+            base_scenario(echo_probability=1.5)
+
+    def test_attacks_per_campaign_scales_event_count(self):
+        few = TraceGenerator(base_scenario(attacks_per_campaign=1.0)).generate()
+        many = TraceGenerator(base_scenario(attacks_per_campaign=12.0)).generate()
+        assert len(many.events) > len(few.events)
+
+    def test_echo_probability_zero_disables_echoes(self):
+        scenario = base_scenario(echo_probability=0.0)
+        config = scenario.campaign_config()
+        assert config.echo_probability == 0.0
+        trace = TraceGenerator(scenario).generate()
+        # Without echoes, no two events of a campaign start within the echo
+        # delay range on different customers.
+        by_campaign: dict[int, list] = {}
+        for e in trace.events:
+            by_campaign.setdefault(e.campaign_id, []).append(e)
+        for events in by_campaign.values():
+            events.sort(key=lambda e: e.onset)
+            for a, b in zip(events, events[1:]):
+                if a.customer_id != b.customer_id:
+                    assert b.onset - a.onset > 12 or b.onset - a.onset < 0 or b.onset >= a.end
+
+    def test_target_group_size_limits_targets(self):
+        world = IspWorld(WorldConfig(n_customers=8, n_botnets=1, botnet_size=40, seed=2))
+        cfg = CampaignConfig(
+            prep_days=1, minutes_per_day=100, target_group_size=2,
+        )
+        campaign = Campaign(0, world.botnets[0], world.customers[:2], cfg, np.random.default_rng(0))
+        campaign.plan(1500)
+        assert {a.customer_id for a in campaign.attacks} <= {0, 1}
+
+
+class TestEchoAttacks:
+    @pytest.fixture(scope="class")
+    def echo_campaign(self):
+        world = IspWorld(WorldConfig(n_customers=6, n_botnets=1, botnet_size=40, seed=4))
+        cfg = CampaignConfig(
+            prep_days=0.5, minutes_per_day=100,
+            echo_probability=1.0, attacks_per_campaign_mean=6,
+        )
+        campaign = Campaign(
+            0, world.botnets[0], world.customers[:3], cfg, np.random.default_rng(3)
+        )
+        campaign.plan(4000)
+        return campaign
+
+    def test_echoes_double_attack_count(self, echo_campaign):
+        # With echo_probability=1, most primaries spawn an echo (horizon
+        # truncation may drop a few).
+        n = len(echo_campaign.attacks)
+        assert n >= 2
+        # Attacks come in (primary, echo) adjacent pairs in plan order.
+        primaries = echo_campaign.attacks[0::2]
+        echoes = echo_campaign.attacks[1::2]
+        for primary, echo in zip(primaries, echoes):
+            assert echo.attack_type == primary.attack_type
+            assert echo.customer_id != primary.customer_id
+            assert 2 <= echo.onset - primary.onset <= 12
+
+    def test_echo_shares_botnet(self, echo_campaign):
+        botnets = {a.botnet_id for a in echo_campaign.attacks}
+        assert botnets == {0}
+
+    def test_each_attack_has_prep(self, echo_campaign):
+        real_preps = [p for p in echo_campaign.preps if not p.aborted]
+        assert len(real_preps) == len(echo_campaign.attacks)
+        for prep, attack in zip(real_preps, echo_campaign.attacks):
+            assert prep.end == attack.onset
+            assert prep.customer_id == attack.customer_id
+
+
+class TestPresets:
+    def test_all_presets_generate_valid_scenarios(self):
+        from repro.eval import bench_scenario, full_scenario, tiny_scenario
+
+        for factory in (tiny_scenario, bench_scenario, full_scenario):
+            scenario = factory(seed=1)
+            assert scenario.horizon_minutes > scenario.prep_minutes
+
+    def test_bench_model_config_validates(self):
+        from repro.eval import bench_model_config
+
+        config = bench_model_config()
+        config.validate()
+        assert config.n_features == 273
+
+    def test_bench_pipeline_config_assembles(self):
+        from repro.eval import bench_pipeline_config
+
+        config = bench_pipeline_config(overhead_bound=0.2, epochs=2)
+        assert config.overhead_bound == 0.2
+        assert config.train.epochs == 2
+        config.model.validate()

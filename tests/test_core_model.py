@@ -1,0 +1,275 @@
+"""Unit tests for the Xatu model, dataset builder, trainer, and detector."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DatasetBuilder,
+    DetectorConfig,
+    TimescaleSpec,
+    TrainConfig,
+    XatuDetector,
+    XatuModel,
+    XatuModelConfig,
+    XatuTrainer,
+)
+from repro.detect import NetScoutDetector
+from repro.nn import load_module_into, save_module
+from repro.signals import FeatureExtractor
+
+
+def tiny_model_config(n_features=273, detect_window=5):
+    return XatuModelConfig(
+        n_features=n_features,
+        hidden_size=6,
+        dense_size=4,
+        detect_window=detect_window,
+        timescales=(
+            TimescaleSpec("short", 1, 20),
+            TimescaleSpec("medium", 4, 10),
+            TimescaleSpec("long", 10, 6),
+        ),
+    )
+
+
+class TestTimescaleSpec:
+    def test_minutes(self):
+        assert TimescaleSpec("x", 10, 6).minutes == 60
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimescaleSpec("x", 0, 5)
+
+
+class TestXatuModelConfig:
+    def test_lookback_is_longest_timescale(self):
+        cfg = tiny_model_config()
+        assert cfg.lookback_minutes == 60
+
+    def test_detect_window_must_fit_first_scale(self):
+        cfg = tiny_model_config(detect_window=25)
+        with pytest.raises(ValueError, match="detect_window"):
+            cfg.validate()
+
+    def test_first_scale_must_be_finest(self):
+        cfg = XatuModelConfig(
+            timescales=(TimescaleSpec("a", 10, 6), TimescaleSpec("b", 1, 30)),
+            detect_window=5,
+        )
+        with pytest.raises(ValueError, match="finest"):
+            cfg.validate()
+
+    def test_empty_timescales_rejected(self):
+        cfg = XatuModelConfig(timescales=())
+        with pytest.raises(ValueError):
+            cfg.validate()
+
+
+class TestXatuModel:
+    def test_output_shape(self, rng):
+        cfg = tiny_model_config(n_features=12)
+        model = XatuModel(cfg)
+        x = rng.normal(size=(3, cfg.lookback_minutes, 12))
+        hazards = model.hazards_np(x)
+        assert hazards.shape == (3, cfg.detect_window)
+
+    def test_hazards_non_negative(self, rng):
+        cfg = tiny_model_config(n_features=8)
+        model = XatuModel(cfg)
+        hazards = model.hazards_np(rng.normal(size=(2, cfg.lookback_minutes, 8)) * 5)
+        assert (hazards >= 0).all()
+
+    def test_cold_initialization_survival_near_one(self, rng):
+        cfg = tiny_model_config(n_features=8)
+        model = XatuModel(cfg)
+        survival = model.survival_np(rng.normal(size=(4, cfg.lookback_minutes, 8)))
+        assert (survival[:, -1] > 0.5).all()
+
+    def test_feature_count_enforced(self, rng):
+        cfg = tiny_model_config(n_features=12)
+        model = XatuModel(cfg)
+        with pytest.raises(ValueError, match="features"):
+            model.hazards_np(rng.normal(size=(1, cfg.lookback_minutes, 11)))
+
+    def test_short_input_rejected(self, rng):
+        cfg = tiny_model_config(n_features=12)
+        model = XatuModel(cfg)
+        with pytest.raises(ValueError, match="lookback"):
+            model.hazards_np(rng.normal(size=(1, 10, 12)))
+
+    def test_longer_input_uses_most_recent(self, rng):
+        cfg = tiny_model_config(n_features=6)
+        model = XatuModel(cfg)
+        x = rng.normal(size=(1, cfg.lookback_minutes + 15, 6))
+        a = model.hazards_np(x)
+        b = model.hazards_np(x[:, 15:, :])
+        assert a == pytest.approx(b)
+
+    def test_scale_indices_cover_detection_window(self):
+        cfg = tiny_model_config()
+        model = XatuModel(cfg)
+        indices = model._scale_indices(cfg.lookback_minutes)
+        for ts, idx in zip(cfg.timescales, indices):
+            assert idx.shape == (cfg.detect_window,)
+            assert (0 <= idx).all() and (idx < ts.span).all()
+            assert (np.diff(idx) >= 0).all()
+
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        cfg = tiny_model_config(n_features=6)
+        model = XatuModel(cfg)
+        x = rng.normal(size=(2, cfg.lookback_minutes, 6))
+        expected = model.hazards_np(x)
+        path = save_module(model, tmp_path / "model", metadata={"k": 1})
+        clone = XatuModel(cfg)
+        meta = load_module_into(clone, path)
+        assert meta == {"k": 1}
+        assert clone.hazards_np(x) == pytest.approx(expected)
+
+    def test_single_timescale_variant(self, rng):
+        cfg = XatuModelConfig(
+            n_features=6, hidden_size=4, dense_size=4, detect_window=5,
+            timescales=(TimescaleSpec("short", 1, 20),),
+        )
+        model = XatuModel(cfg)
+        out = model.hazards_np(rng.normal(size=(2, 20, 6)))
+        assert out.shape == (2, 5)
+
+
+class TestDatasetBuilder:
+    @pytest.fixture(scope="class")
+    def built(self, trace):
+        alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+        extractor = FeatureExtractor(trace)
+        cfg = XatuModelConfig(
+            hidden_size=4, dense_size=4, detect_window=5,
+            timescales=(
+                TimescaleSpec("short", 1, 30),
+                TimescaleSpec("medium", 5, 12),
+            ),
+        )
+        builder = DatasetBuilder(trace, extractor, cfg, rng=np.random.default_rng(1))
+        sample_set = builder.build(alerts, (0, trace.horizon))
+        return trace, alerts, cfg, sample_set
+
+    def test_balanced_classes(self, built):
+        _trace, alerts, _cfg, sample_set = built
+        pos = sum(1 for s in sample_set.samples if s.is_attack)
+        neg = len(sample_set) - pos
+        assert pos > 0 and neg > 0
+        assert abs(pos - neg) <= max(2, 0.2 * pos)
+
+    def test_window_shapes(self, built):
+        _trace, _alerts, cfg, sample_set = built
+        for s in sample_set.samples:
+            assert s.features.shape == (cfg.lookback_minutes, 273)
+            assert s.label_time == cfg.detect_window - 1
+
+    def test_negatives_avoid_attacks(self, built):
+        trace, _alerts, _cfg, sample_set = built
+        for s in sample_set.samples:
+            if s.is_attack:
+                continue
+            for event in trace.events:
+                if event.customer_id == s.customer_id:
+                    assert not (event.onset - 30 <= s.end_minute < event.end + 30)
+
+    def test_arrays_aligned(self, built):
+        _trace, _alerts, _cfg, sample_set = built
+        x, c, t = sample_set.arrays()
+        assert len(x) == len(c) == len(t) == len(sample_set)
+
+    def test_empty_range_raises(self, built):
+        trace, alerts, cfg, _ = built
+        extractor = FeatureExtractor(trace)
+        builder = DatasetBuilder(trace, extractor, cfg)
+        with pytest.raises(ValueError):
+            builder.build([], (0, cfg.lookback_minutes))  # no quiet room, no alerts
+
+
+class TestTrainer:
+    def make_toy_set(self, rng, cfg, n=12):
+        """Synthetic learnable task: attacks have a rising feature."""
+        from repro.core.dataset import SampleSet, SurvivalSample
+        from repro.signals import FeatureScaler
+
+        samples = []
+        for i in range(n):
+            is_attack = i % 2 == 0
+            base = rng.normal(size=(cfg.lookback_minutes, cfg.n_features)) * 0.1
+            if is_attack:
+                base[-cfg.detect_window :, 0] += np.linspace(1, 3, cfg.detect_window)
+            samples.append(
+                SurvivalSample(
+                    features=base,
+                    is_attack=is_attack,
+                    label_time=cfg.detect_window - 1,
+                    customer_id=0,
+                    end_minute=0,
+                    event_id=-1,
+                )
+            )
+        scaler = FeatureScaler().fit([s.features for s in samples])
+        for s in samples:
+            s.features = scaler.transform(s.features)
+        return SampleSet(samples=samples, scaler=scaler)
+
+    def test_loss_decreases(self, rng):
+        cfg = tiny_model_config(n_features=4)
+        model = XatuModel(cfg)
+        trainer = XatuTrainer(model, TrainConfig(epochs=5, batch_size=4, learning_rate=5e-3))
+        result = trainer.fit(self.make_toy_set(rng, cfg))
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_model_separates_classes_after_training(self, rng):
+        cfg = tiny_model_config(n_features=4)
+        model = XatuModel(cfg)
+        train_set = self.make_toy_set(rng, cfg, n=24)
+        XatuTrainer(model, TrainConfig(epochs=15, batch_size=8, learning_rate=1e-2)).fit(train_set)
+        x, c, _t = train_set.arrays()
+        survival = model.survival_np(x)[:, -1]
+        assert survival[c > 0.5].mean() < survival[c < 0.5].mean()
+
+    def test_bce_mode_runs(self, rng):
+        cfg = tiny_model_config(n_features=4)
+        model = XatuModel(cfg)
+        trainer = XatuTrainer(model, TrainConfig(epochs=2, loss="bce"))
+        result = trainer.fit(self.make_toy_set(rng, cfg))
+        assert len(result.train_losses) == 2
+
+    def test_invalid_loss_rejected(self, rng):
+        with pytest.raises(ValueError):
+            XatuTrainer(XatuModel(tiny_model_config(n_features=4)), TrainConfig(loss="mse"))
+
+    def test_early_stopping(self, rng):
+        cfg = tiny_model_config(n_features=4)
+        model = XatuModel(cfg)
+        data = self.make_toy_set(rng, cfg)
+        trainer = XatuTrainer(
+            model, TrainConfig(epochs=50, learning_rate=1e-2, early_stop_patience=2)
+        )
+        result = trainer.fit(data, validation=data)
+        # Either it stopped early or it ran all epochs with val tracking.
+        assert len(result.val_losses) == result.epochs_run
+        if result.stopped_early:
+            assert result.epochs_run < 50
+
+    def test_evaluate_loss_no_grads(self, rng):
+        cfg = tiny_model_config(n_features=4)
+        model = XatuModel(cfg)
+        trainer = XatuTrainer(model)
+        loss = trainer.evaluate_loss(self.make_toy_set(rng, cfg))
+        assert np.isfinite(loss)
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestDetectionOutput:
+    def test_rolling_survival_matches_manual(self, rng):
+        from repro.core.detector import DetectionOutput
+
+        hazards = np.abs(rng.normal(size=30)) * 0.2
+        output = DetectionOutput(hazard_series={0: hazards})
+        window = 7
+        series = output.survival_series(0, window)
+        for t in range(len(hazards)):
+            lo = max(0, t + 1 - window)
+            assert series[t] == pytest.approx(np.exp(-hazards[lo : t + 1].sum()))

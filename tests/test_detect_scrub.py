@@ -1,0 +1,166 @@
+"""Unit tests for CUSUM, the CDet simulators, and scrubbing accounting."""
+
+import numpy as np
+import pytest
+
+from repro.detect import (
+    NUMSTD_BY_TYPE,
+    FastNetMonDetector,
+    NetScoutDetector,
+    anomaly_start,
+    cusum_detect,
+    cusum_scores,
+)
+from repro.scrub import DiversionWindow, ScrubbingCenter, ScrubbingReport
+from repro.synth import AttackType
+
+
+class TestCusum:
+    def test_flat_series_never_fires(self):
+        series = np.full(100, 10.0)
+        assert cusum_detect(series, mu=10.0, sigma=1.0, threshold=5.0) is None
+
+    def test_step_change_detected_near_step(self):
+        rng = np.random.default_rng(1)
+        series = np.concatenate([rng.normal(10, 1, 60), rng.normal(30, 1, 20)])
+        idx = cusum_detect(series, mu=10.0, sigma=1.0, threshold=5.0)
+        assert idx is not None and 60 <= idx <= 62
+
+    def test_scores_non_negative(self, rng):
+        series = rng.normal(5, 2, 50)
+        scores = cusum_scores(series, mu=5.0, sigma=2.0)
+        assert (scores >= 0).all()
+
+    def test_numstd_raises_bar(self):
+        series = np.full(20, 11.0)  # 1 sigma above mean
+        low = cusum_scores(series, 10.0, 1.0, numstd=0.5)
+        high = cusum_scores(series, 10.0, 1.0, numstd=2.0)
+        assert low[-1] > 0
+        assert high[-1] == 0
+
+    def test_zero_sigma_guarded(self):
+        scores = cusum_scores(np.ones(5), mu=1.0, sigma=0.0)
+        assert np.isfinite(scores).all()
+
+    def test_all_types_have_numstd(self):
+        assert set(NUMSTD_BY_TYPE) == set(AttackType)
+
+    def test_anomaly_start_precedes_detection(self):
+        rng = np.random.default_rng(2)
+        series = np.concatenate([rng.normal(10, 1, 100), np.linspace(12, 200, 20)])
+        onset = anomaly_start(series, detect_index=115, attack_type=AttackType.UDP_FLOOD)
+        assert 95 <= onset <= 110
+
+    def test_anomaly_start_falls_back_to_detection(self):
+        series = np.full(50, 10.0)  # no ramp at all
+        assert anomaly_start(series, 40, AttackType.UDP_FLOOD) == 40
+
+    def test_detect_index_zero(self):
+        assert anomaly_start(np.ones(5), 0, AttackType.ICMP_FLOOD) == 0
+
+
+class TestDetectors:
+    def test_netscout_fires_on_sustained_attack(self, trace):
+        alerts = NetScoutDetector().run(trace)
+        assert alerts
+        hits = [a for a in alerts if a.event_id >= 0]
+        assert hits, "NetScout should catch at least some attacks"
+
+    def test_netscout_detects_after_onset(self, trace):
+        for a in NetScoutDetector().run(trace):
+            if a.event_id >= 0:
+                event = trace.events[a.event_id]
+                assert a.detect_minute >= event.onset
+
+    def test_alert_windows_well_formed(self, trace):
+        for detector in (NetScoutDetector(), FastNetMonDetector()):
+            for a in detector.run(trace):
+                assert 0 <= a.detect_minute < a.end_minute <= trace.horizon
+                assert a.peak_bytes >= 0
+
+    def test_fnm_more_sensitive_than_netscout(self, trace):
+        ns = NetScoutDetector().run(trace)
+        fnm = FastNetMonDetector().run(trace)
+        ns_matched = {a.event_id for a in ns if a.event_id >= 0}
+        fnm_matched = {a.event_id for a in fnm if a.event_id >= 0}
+        assert len(fnm_matched) >= len(ns_matched)
+
+    def test_sustain_filters_short_excursions(self, trace):
+        strict = NetScoutDetector(sustain=30)
+        assert len(strict.run(trace)) <= len(NetScoutDetector(sustain=2).run(trace))
+
+
+class TestScrubbingCenter:
+    def test_full_coverage_is_full_effectiveness(self, trace):
+        event = trace.events[0]
+        windows = [DiversionWindow(event.customer_id, event.onset, event.end)]
+        report = ScrubbingCenter(trace).account(windows)
+        assert report.effectiveness(event.event_id) == pytest.approx(1.0)
+        assert report.detection_delay[event.event_id] == 0
+
+    def test_no_windows_zero_effectiveness(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        for event in trace.events:
+            assert report.effectiveness(event.event_id) == 0.0
+            assert report.detection_delay[event.event_id] is None
+
+    def test_partial_coverage_between_zero_and_one(self, trace):
+        event = max(trace.events, key=lambda e: e.duration)
+        if event.duration < 4:
+            pytest.skip("no long event in trace")
+        mid = event.onset + event.duration // 2
+        report = ScrubbingCenter(trace).account(
+            [DiversionWindow(event.customer_id, mid, event.end)]
+        )
+        eff = report.effectiveness(event.event_id)
+        assert 0.0 < eff < 1.0
+        assert report.detection_delay[event.event_id] == mid - event.onset
+
+    def test_early_diversion_negative_delay(self, trace):
+        event = trace.events[0]
+        report = ScrubbingCenter(trace).account(
+            [DiversionWindow(event.customer_id, event.onset - 5, event.end)]
+        )
+        assert report.detection_delay[event.event_id] == -5
+        assert report.effectiveness(event.event_id) == pytest.approx(1.0)
+
+    def test_extraneous_diversion_counted_as_overhead(self, trace):
+        event = trace.events[0]
+        cid = event.customer_id
+        # Divert a quiet window far from any attack.
+        quiet_start = event.onset - 40
+        report = ScrubbingCenter(trace).account(
+            [DiversionWindow(cid, quiet_start, quiet_start + 10)]
+        )
+        assert report.customer_extraneous[cid] > 0
+        assert report.overhead(cid) > 0
+
+    def test_overhead_zero_without_diversion(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        for cid in report.customer_anomalous:
+            assert report.overhead(cid) == 0.0
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            DiversionWindow(0, 10, 5)
+
+    def test_effectiveness_values_vector(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        values = report.effectiveness_values()
+        assert len(values) == len(trace.events)
+
+    def test_delay_values_missed_handling(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        assert len(report.delay_values()) == 0  # dropped by default
+        filled = report.delay_values(missed_value=99)
+        assert len(filled) == len(trace.events)
+        assert (filled == 99).all()
+
+    def test_overlapping_windows_not_double_counted(self, trace):
+        event = trace.events[0]
+        windows = [
+            DiversionWindow(event.customer_id, event.onset, event.end),
+            DiversionWindow(event.customer_id, event.onset, event.end),
+        ]
+        report = ScrubbingCenter(trace).account(windows)
+        assert report.effectiveness(event.event_id) <= 1.0 + 1e-9

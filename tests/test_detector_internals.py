@@ -1,0 +1,93 @@
+"""Unit tests for the CDet simulators' threshold machinery."""
+
+import numpy as np
+import pytest
+
+from repro.detect import FastNetMonDetector, NetScoutDetector
+from repro.detect.entropy import EntropyDetector
+
+
+class TestNetScoutThresholds:
+    def test_threshold_constant_over_series(self, trace):
+        detector = NetScoutDetector()
+        series = trace.matrix.bytes_series(0, 0, trace.horizon)
+        thresholds = detector._threshold_series(series, trace, 0)
+        assert len(np.unique(thresholds)) == 1
+
+    def test_headroom_scales_threshold(self, trace):
+        series = trace.matrix.bytes_series(0, 0, trace.horizon)
+        low = NetScoutDetector(headroom=1.5)._threshold_series(series, trace, 0)
+        high = NetScoutDetector(headroom=3.0)._threshold_series(series, trace, 0)
+        assert high[0] == pytest.approx(2.0 * low[0])
+
+    def test_profile_window_limits_quantile_data(self, trace):
+        series = trace.matrix.bytes_series(0, 0, trace.horizon)
+        windowed = NetScoutDetector(profile_window=60)._threshold_series(series, trace, 0)
+        expected = np.quantile(series[:60], 0.99) * 2.0
+        assert windowed[0] == pytest.approx(expected)
+
+
+class TestFastNetMonThresholds:
+    def test_attack_does_not_poison_baseline(self):
+        """A huge excursion must not drag the adaptive threshold up with it."""
+        rng = np.random.default_rng(0)
+        quiet = rng.normal(100.0, 5.0, 300)
+        flood = np.full(30, 100000.0)
+        series = np.concatenate([quiet, flood, quiet])
+
+        class FakeTrace:
+            pass
+
+        detector = FastNetMonDetector()
+        thresholds = detector._threshold_series(series, FakeTrace(), 0)
+        # After the flood, the threshold returns near its pre-flood level.
+        pre = thresholds[290]
+        post = thresholds[-1]
+        assert post < 5 * pre
+
+    def test_threshold_lags_traffic(self):
+        """Today's spike cannot raise today's bar (detection stays possible)."""
+        series = np.concatenate([np.full(100, 100.0), np.full(5, 10000.0)])
+
+        class FakeTrace:
+            pass
+
+        thresholds = FastNetMonDetector()._threshold_series(series, FakeTrace(), 0)
+        assert (series[100:] > thresholds[100:]).all()
+
+    def test_floor_prevents_zero_threshold(self):
+        series = np.zeros(50)
+
+        class FakeTrace:
+            pass
+
+        thresholds = FastNetMonDetector()._threshold_series(series, FakeTrace(), 0)
+        assert (thresholds > 0).all()
+
+
+class TestEntropyInternals:
+    def test_deviation_flags_quiet_series_silent(self, rng):
+        detector = EntropyDetector()
+        entropy = rng.normal(3.0, 0.02, 500)
+        flags = detector._deviation_flags(entropy)
+        assert flags.mean() < 0.05
+
+    def test_deviation_flags_fire_on_shift(self, rng):
+        detector = EntropyDetector()
+        entropy = np.concatenate([
+            rng.normal(3.0, 0.02, 300), rng.normal(1.5, 0.02, 50)
+        ])
+        flags = detector._deviation_flags(entropy)
+        assert flags[300:].mean() > 0.9
+
+    def test_flagged_minutes_do_not_update_profile(self, rng):
+        """The EWMA profile freezes during excursions (no self-poisoning)."""
+        detector = EntropyDetector()
+        entropy = np.concatenate([
+            rng.normal(3.0, 0.02, 300),
+            np.full(100, 0.5),
+            rng.normal(3.0, 0.02, 100),
+        ])
+        flags = detector._deviation_flags(entropy)
+        # The quiet tail must NOT be flagged: the profile stayed at ~3.
+        assert flags[420:].mean() < 0.1

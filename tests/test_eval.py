@@ -1,0 +1,153 @@
+"""Tests for the evaluation harness: censuses, naive-early, tables, attribution."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    attacker_activity_by_day,
+    clustering_timeline,
+    format_value,
+    input_gradients,
+    prep_signal_census,
+    render_series,
+    render_table,
+    run_naive_early,
+    split_table,
+    transition_matrix,
+)
+from repro.synth import AttackType
+
+
+class TestPrepSignalCensus:
+    def test_fractions_in_unit_interval(self, trace):
+        census = prep_signal_census(trace)
+        assert census
+        for row in census:
+            assert 0 <= row.blocklisted_fraction <= 1
+            assert 0 <= row.previous_attacker_fraction <= 1
+            assert 0 <= row.spoofed_fraction <= 1
+
+    def test_blocklist_signal_present(self, trace):
+        census = prep_signal_census(trace)
+        assert max(r.blocklisted_fraction for r in census) > 0
+
+    def test_repeat_attacks_carry_previous_attackers(self, trace):
+        """Later attacks on a repeat-attacked customer show the A2 overlap."""
+        census = prep_signal_census(trace)
+        assert any(r.previous_attacker_fraction > 0.1 for r in census)
+
+
+class TestTransitionMatrix:
+    def test_rows_are_distributions(self, trace):
+        matrix, types, pairs = transition_matrix(trace)
+        assert pairs > 0
+        for row in matrix:
+            if row.sum() > 0:
+                assert row.sum() == pytest.approx(1.0)
+
+    def test_same_type_pairs_dominate(self, trace):
+        """Fig 4b: consecutive attacks mostly repeat the same type."""
+        from repro.eval import same_type_share
+
+        assert same_type_share(trace) > 0.5
+
+
+class TestActivityByDay:
+    def test_activity_increases_toward_attack(self, trace):
+        activity = attacker_activity_by_day(trace, days_back=2)
+        # index 0 = day -1 (closest), last index = farthest.
+        block = activity["blocklist"]
+        assert block.shape == (2,)
+        assert block[0] >= block[-1] - 0.15  # closer day at least as active
+
+    def test_all_signal_keys_present(self, trace):
+        activity = attacker_activity_by_day(trace, days_back=1)
+        assert set(activity) == {"blocklist", "previous", "spoofed"}
+
+
+class TestClusteringTimeline:
+    def test_offsets_returned(self, trace):
+        timeline = clustering_timeline(trace, minutes_before=[10, 0])
+        assert set(timeline) == {10, 0}
+        for values in timeline.values():
+            assert values.shape == (3,)
+            assert (values >= 0).all()
+
+
+class TestSplitTable:
+    def test_counts_sum_to_events(self, trace):
+        table = split_table(trace)
+        total = sum(sum(row.values()) for row in table.values())
+        assert total == len(trace.events)
+
+    def test_chronology_respected(self, trace):
+        table = split_table(trace, (0.0, 0.0, 1.0))
+        for row in table.values():
+            assert row["train"] == 0 and row["val"] == 0
+
+
+class TestNaiveEarly:
+    def test_effectiveness_monotone_in_earliness(self, trace):
+        points = run_naive_early(trace, [0, 5, 10])
+        overall = [p for p in points if p.duration_class == "overall"]
+        eff = [p.effectiveness_median for p in overall]
+        assert eff == sorted(eff)
+
+    def test_overhead_monotone_in_earliness(self, trace):
+        points = run_naive_early(trace, [0, 5, 10])
+        overall = [p for p in points if p.duration_class == "overall"]
+        ovh = [p.overhead_mean for p in overall]
+        assert ovh[-1] >= ovh[0]
+
+    def test_all_duration_classes_reported(self, trace):
+        points = run_naive_early(trace, [0])
+        classes = {p.duration_class for p in points}
+        assert classes == {"short", "medium", "long", "overall"}
+
+
+class TestAttribution:
+    def test_gradients_shape_and_signal(self, pipeline_result):
+        pipeline, _result = pipeline_result
+        # Reuse the fixture's trained model through a fresh mini-setup.
+        from repro.core import XatuModel
+        from repro.signals import FeatureExtractor, FeatureScaler
+        from tests.conftest import small_model_config
+
+        cfg = small_model_config()
+        model = XatuModel(cfg)
+        trace = pipeline.trace
+        fx = FeatureExtractor(trace)
+        event = trace.events[-1]
+        start = event.onset - cfg.lookback_minutes
+        if start < 0:
+            pytest.skip("event too early for a full window")
+        raw = fx.window(event.customer_id, start, event.onset)
+        scaled = FeatureScaler().fit([raw]).transform(raw)
+        attribution = input_gradients(model, scaled)
+        assert attribution.magnitude.shape == (cfg.lookback_minutes, 6)
+        assert (attribution.magnitude >= 0).all()
+        assert attribution.groups == ["V", "A1", "A2", "A3", "A4", "A5"]
+        assert len(attribution.group_series("A2")) == cfg.lookback_minutes
+        assert attribution.dominant_group(0) in attribution.groups
+
+
+class TestTables:
+    def test_format_value(self):
+        assert format_value(0.5) == "0.5"
+        assert format_value(1234.5) == "1.23e+03"
+        assert format_value(0.0001234) == "0.000123"
+        assert format_value(True) == "True"
+        assert format_value("x") == "x"
+        assert format_value(float("nan")) == "nan"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "metric"], [[1, 0.5], [22, 0.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "metric" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series(self):
+        out = render_series("x", [1, 2], {"y": [0.1, 0.2], "z": [3, 4]})
+        assert "x" in out and "y" in out and "z" in out
+        assert len(out.splitlines()) == 4

@@ -1,0 +1,97 @@
+"""Final breadth coverage: world edge cases, CLI compare, misc invariants."""
+
+import numpy as np
+import pytest
+
+from repro.synth import IspWorld, WorldConfig
+
+
+class TestWorldEdgeCases:
+    def test_unlisted_botnets_exist_at_high_fraction(self):
+        world = IspWorld(WorldConfig(
+            n_customers=4, n_botnets=8, botnet_size=50,
+            unlisted_botnet_fraction=0.9, seed=3,
+        ))
+        unlisted = [b for b in world.botnets if len(b.blocklisted_members) == 0]
+        assert unlisted, "most botnets should be unlisted at 0.9 fraction"
+
+    def test_zero_unlisted_fraction_lists_every_botnet(self):
+        world = IspWorld(WorldConfig(
+            n_customers=4, n_botnets=5, botnet_size=50,
+            unlisted_botnet_fraction=0.0, seed=3,
+        ))
+        assert all(len(b.blocklisted_members) > 0 for b in world.botnets)
+
+    def test_world_deterministic_given_seed(self):
+        a = IspWorld(WorldConfig(seed=11))
+        b = IspWorld(WorldConfig(seed=11))
+        from repro.synth import world_checksum
+
+        assert world_checksum(a) == world_checksum(b)
+
+    def test_customer_addresses_unique(self):
+        world = IspWorld(WorldConfig(n_customers=30, seed=1))
+        addresses = [c.address for c in world.customers]
+        assert len(set(addresses)) == len(addresses)
+
+    def test_botnet_blocks_disjoint(self):
+        world = IspWorld(WorldConfig(n_botnets=5, botnet_size=100, seed=1))
+        seen: set[int] = set()
+        for botnet in world.botnets:
+            members = set(int(a) for a in botnet.members)
+            assert not (members & seen)
+            seen |= members
+
+
+class TestCliCompare:
+    def test_compare_command_prints_all_systems(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "compare", "--days", "12", "--customers", "6",
+            "--epochs", "1", "--overhead-bound", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for system in ("netscout", "fastnetmon", "rf", "xatu"):
+            assert system in out
+
+
+class TestMiscInvariants:
+    def test_attack_event_ids_stable_through_sorting(self, trace):
+        """event_id is the index into trace.events everywhere."""
+        for i, event in enumerate(trace.events):
+            assert event.event_id == i
+
+    def test_trace_events_within_horizon(self, trace):
+        for event in trace.events:
+            assert 0 <= event.onset < event.end <= trace.horizon
+
+    def test_prep_windows_precede_or_abort(self, trace):
+        for prep in trace.preps:
+            assert prep.start < prep.end <= trace.horizon
+
+    def test_signature_protocol_matches_attack_type(self, trace):
+        from repro.netflow import Protocol
+        from repro.synth import AttackType
+
+        proto_of = {
+            AttackType.UDP_FLOOD: Protocol.UDP,
+            AttackType.DNS_AMPLIFICATION: Protocol.UDP,
+            AttackType.TCP_ACK: Protocol.TCP,
+            AttackType.TCP_SYN: Protocol.TCP,
+            AttackType.TCP_RST: Protocol.TCP,
+            AttackType.ICMP_FLOOD: Protocol.ICMP,
+        }
+        for event in trace.events:
+            assert event.signature.protocol == int(proto_of[event.attack_type])
+
+    def test_feature_extractor_window_deterministic(self, trace):
+        from repro.signals import FeatureExtractor
+
+        fx = FeatureExtractor(trace)
+        event = trace.events[0]
+        lo = max(0, event.onset - 60)
+        a = fx.window(event.customer_id, lo, event.onset)
+        b = fx.window(event.customer_id, lo, event.onset)
+        assert a == pytest.approx(b)

@@ -1,0 +1,139 @@
+"""Unit tests for the CART tree and random forest baseline."""
+
+import numpy as np
+import pytest
+
+from repro.forest import (
+    DecisionTreeClassifier,
+    GridSearchResult,
+    RandomForestClassifier,
+    grid_search,
+)
+
+
+def linearly_separable(rng, n=200, d=4):
+    x = rng.normal(size=(n, d))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)
+    return x, y
+
+
+def xor_data(rng, n=400):
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(float)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_perfect_fit_on_separable(self, rng):
+        x, y = linearly_separable(rng)
+        tree = DecisionTreeClassifier(max_depth=8).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.98
+
+    def test_xor_needs_depth_two(self, rng):
+        x, y = xor_data(rng)
+        shallow = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        deep = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        assert (deep.predict(x) == y).mean() > (shallow.predict(x) == y).mean()
+
+    def test_pure_node_becomes_leaf(self, rng):
+        x = rng.normal(size=(50, 3))
+        y = np.ones(50)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(x) == pytest.approx(np.ones(50))
+
+    def test_max_depth_respected(self, rng):
+        x, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf_respected(self, rng):
+        x, y = linearly_separable(rng, n=20)
+        tree = DecisionTreeClassifier(min_samples_leaf=8).fit(x, y)
+        # With 20 samples and leaves >= 8, at most one split is possible.
+        assert tree.depth() <= 2
+
+    def test_probabilities_in_unit_interval(self, rng):
+        x, y = xor_data(rng)
+        tree = DecisionTreeClassifier(max_depth=3).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert ((0 <= probs) & (probs <= 1)).all()
+
+    def test_single_row_prediction(self, rng):
+        x, y = linearly_separable(rng)
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.predict_proba(x[0]).shape == (1,)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_proba(np.zeros((1, 3)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(np.zeros((0, 3)), np.zeros(0))
+
+    def test_misaligned_xy_rejected(self, rng):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier().fit(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_bad_max_depth_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(max_depth=0)
+
+    def test_constant_features_single_leaf(self):
+        x = np.ones((30, 3))
+        y = np.concatenate([np.ones(15), np.zeros(15)])
+        tree = DecisionTreeClassifier().fit(x, y)
+        assert tree.node_count == 1
+        assert tree.predict_proba(x)[0] == pytest.approx(0.5)
+
+    def test_max_features_sqrt(self, rng):
+        x, y = linearly_separable(rng, d=16)
+        tree = DecisionTreeClassifier(max_features="sqrt", rng=rng).fit(x, y)
+        assert tree.node_count > 1
+
+
+class TestRandomForest:
+    def test_forest_beats_stump_on_xor(self, rng):
+        x, y = xor_data(rng)
+        stump = DecisionTreeClassifier(max_depth=1).fit(x, y)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=5, seed=1).fit(x, y)
+        assert (forest.predict(x) == y).mean() > (stump.predict(x) == y).mean()
+
+    def test_deterministic_given_seed(self, rng):
+        x, y = linearly_separable(rng)
+        a = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, seed=42).fit(x, y)
+        assert a.predict_proba(x) == pytest.approx(b.predict_proba(x))
+
+    def test_probability_is_tree_average(self, rng):
+        x, y = linearly_separable(rng)
+        forest = RandomForestClassifier(n_estimators=7, seed=0).fit(x, y)
+        manual = np.mean([t.predict_proba(x) for t in forest.trees_], axis=0)
+        assert forest.predict_proba(x) == pytest.approx(manual)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_zero_estimators_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_empty_data_rejected(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier().fit(np.zeros((0, 2)), np.zeros(0))
+
+
+class TestGridSearch:
+    def test_returns_fitted_winner(self, rng):
+        x, y = xor_data(rng, n=300)
+        split = 200
+        forest, result = grid_search(
+            x[:split], y[:split], x[split:], y[split:],
+            param_grid={"n_estimators": [5], "max_depth": [2, 6]},
+        )
+        assert isinstance(result, GridSearchResult)
+        assert result.n_evaluated == 2
+        assert result.params["max_depth"] == 6
+        assert (forest.predict(x) == y).mean() > 0.8

@@ -1,0 +1,190 @@
+"""Unit tests for nn layers: Dense, LSTM, pooling, containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    LSTM,
+    AvgPool1D,
+    Dense,
+    Dropout,
+    MaxPool1D,
+    Sequential,
+    Tensor,
+    gradcheck,
+)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    @pytest.mark.parametrize("act", [None, "sigmoid", "tanh", "relu", "softplus"])
+    def test_activations_run(self, act, rng):
+        layer = Dense(4, 2, activation=act, rng=rng)
+        out = layer(Tensor(rng.normal(size=(3, 4))))
+        assert np.isfinite(out.numpy()).all()
+
+    def test_unknown_activation_raises(self, rng):
+        layer = Dense(4, 2, activation="gelu", rng=rng)
+        with pytest.raises(ValueError, match="unknown activation"):
+            layer(Tensor(rng.normal(size=(3, 4))))
+
+    def test_gradients_flow_to_params(self, rng):
+        layer = Dense(4, 2, activation="tanh", rng=rng)
+        layer(Tensor(rng.normal(size=(3, 4)))).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+    def test_gradcheck_small(self, rng):
+        layer = Dense(3, 2, activation="sigmoid", rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        gradcheck(
+            lambda w, b: (x @ w + b).sigmoid().sum(),
+            [layer.weight, layer.bias],
+        )
+
+    def test_softplus_output_non_negative(self, rng):
+        layer = Dense(4, 1, activation="softplus", rng=rng)
+        out = layer(Tensor(rng.normal(size=(50, 4))))
+        assert (out.numpy() >= 0).all()
+
+
+class TestLSTM:
+    def test_output_shapes(self, rng):
+        lstm = LSTM(5, 7, rng=rng)
+        out, (h, c) = lstm(Tensor(rng.normal(size=(3, 11, 5))))
+        assert out.shape == (3, 11, 7)
+        assert h.shape == (3, 7) and c.shape == (3, 7)
+
+    def test_final_state_matches_last_output(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        out, (h, _c) = lstm(Tensor(rng.normal(size=(2, 5, 4))))
+        assert out.numpy()[:, -1, :] == pytest.approx(h.numpy())
+
+    def test_wrong_feature_count_raises(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        with pytest.raises(ValueError, match="input features"):
+            lstm(Tensor(rng.normal(size=(2, 5, 3))))
+
+    def test_state_threading_equals_full_sequence(self, rng):
+        """Running two halves with threaded state == one full pass."""
+        lstm = LSTM(3, 4, rng=rng)
+        x = rng.normal(size=(2, 8, 3))
+        full, _ = lstm(Tensor(x))
+        first, state = lstm(Tensor(x[:, :5, :]))
+        second, _ = lstm(Tensor(x[:, 5:, :]), state=state)
+        joined = np.concatenate([first.numpy(), second.numpy()], axis=1)
+        assert joined == pytest.approx(full.numpy())
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        lstm = LSTM(3, 4, rng=rng)
+        bias = lstm.bias.numpy()
+        assert np.all(bias[4:8] == 1.0)
+        assert np.all(bias[:4] == 0.0)
+
+    def test_gradcheck_tiny_lstm(self, rng):
+        lstm = LSTM(2, 2, rng=rng)
+        x = Tensor(rng.normal(size=(1, 3, 2)) * 0.5)
+
+        def loss(w_x, w_h, b):
+            out, _ = lstm(x)
+            return (out**2).sum()
+
+        gradcheck(loss, [lstm.w_x, lstm.w_h, lstm.bias], atol=1e-3)
+
+    def test_hidden_state_bounded(self, rng):
+        lstm = LSTM(3, 5, rng=rng)
+        out, _ = lstm(Tensor(rng.normal(size=(2, 50, 3)) * 10))
+        assert (np.abs(out.numpy()) <= 1.0).all()  # o * tanh(c) in [-1, 1]
+
+
+class TestPooling:
+    def test_avg_pool_exact_windows(self):
+        x = Tensor(np.arange(12.0).reshape(1, 6, 2))
+        out = AvgPool1D(3)(x)
+        assert out.shape == (1, 2, 2)
+        assert out.numpy()[0, 0] == pytest.approx([2.0, 3.0])
+
+    def test_avg_pool_partial_trailing_window(self):
+        x = Tensor(np.arange(10.0).reshape(1, 5, 2))
+        out = AvgPool1D(2)(x)
+        assert out.shape == (1, 3, 2)
+        # Last window has a single element.
+        assert out.numpy()[0, 2] == pytest.approx([8.0, 9.0])
+
+    def test_window_one_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(2, 5, 3)))
+        assert AvgPool1D(1)(x) is x
+        assert MaxPool1D(1)(x) is x
+
+    def test_max_pool_values(self):
+        x = Tensor(np.array([[[1.0], [5.0], [2.0], [4.0]]]))
+        out = MaxPool1D(2)(x)
+        assert out.numpy().ravel() == pytest.approx([5.0, 4.0])
+
+    def test_invalid_window_raises(self):
+        with pytest.raises(ValueError):
+            AvgPool1D(0)
+        with pytest.raises(ValueError):
+            MaxPool1D(-1)
+
+    def test_avg_pool_gradcheck(self, rng):
+        x = Tensor(rng.normal(size=(1, 5, 2)), requires_grad=True)
+        gradcheck(lambda x: (AvgPool1D(2)(x) ** 2).sum(), [x])
+
+
+class TestContainersAndState:
+    def test_sequential_applies_in_order(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng), Dense(3, 2, rng=rng))
+        out = model(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 2)
+        assert len(model) == 2
+
+    def test_parameters_collects_nested(self, rng):
+        model = Sequential(Dense(4, 3, rng=rng), Dense(3, 2, rng=rng))
+        assert len(model.parameters()) == 4
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Dense(4, 3, rng=np.random.default_rng(1))
+        b = Dense(4, 3, rng=np.random.default_rng(2))
+        assert not np.allclose(a.weight.numpy(), b.weight.numpy())
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.numpy(), b.weight.numpy())
+
+    def test_load_state_dict_shape_mismatch_raises(self, rng):
+        a = Dense(4, 3, rng=rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            a.load_state_dict(state)
+
+    def test_load_state_dict_missing_key_raises(self, rng):
+        a = Dense(4, 3, rng=rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_zero_grad_clears_all(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer(Tensor(rng.normal(size=(2, 3)))).sum().backward()
+        layer.zero_grad()
+        assert layer.weight.grad is None and layer.bias.grad is None
+
+    def test_dropout_identity_in_eval(self, rng):
+        drop = Dropout(0.5, rng=rng)
+        drop.training = False
+        x = Tensor(rng.normal(size=(4, 4)))
+        assert drop(x) is x
+
+    def test_dropout_scales_in_train(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).numpy()
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

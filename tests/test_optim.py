@@ -1,0 +1,115 @@
+"""Unit tests for SGD, Adam, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Tensor, clip_grad_norm
+
+
+def quadratic_step(opt, param, target):
+    opt.zero_grad()
+    loss = ((param - target) ** 2).sum()
+    loss.backward()
+    opt.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        target = Tensor(np.array([1.0, 2.0]))
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(opt, p, target)
+        assert p.numpy() == pytest.approx([1.0, 2.0], abs=1e-4)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for momentum in (0.0, 0.9):
+            p = Tensor(np.array([10.0]), requires_grad=True)
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(30):
+                last = quadratic_step(opt, p, Tensor(np.array([0.0])))
+            losses[momentum] = last
+        assert losses[0.9] < losses[0.0]
+
+    def test_weight_decay_shrinks_params(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.numpy()[0] < 1.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([])
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(1.0, requires_grad=True)], lr=0.0)
+
+    def test_none_grad_skipped(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        SGD([p], lr=0.1).step()  # no backward() yet
+        assert p.numpy()[0] == 1.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Tensor(np.array([5.0, -3.0]), requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        for _ in range(200):
+            quadratic_step(opt, p, Tensor(np.array([1.0, 2.0])))
+        assert p.numpy() == pytest.approx([1.0, 2.0], abs=1e-3)
+
+    def test_bias_correction_first_step_size(self):
+        """First Adam step moves by ~lr regardless of gradient scale."""
+        for scale in (1e-3, 1e3):
+            p = Tensor(np.array([0.0]), requires_grad=True)
+            opt = Adam([p], lr=0.1)
+            opt.zero_grad()
+            (p * scale).sum().backward()
+            opt.step()
+            assert abs(p.numpy()[0]) == pytest.approx(0.1, rel=1e-3)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Tensor(1.0, requires_grad=True)], betas=(1.0, 0.9))
+
+    def test_weight_decay_applied(self):
+        p = Tensor(np.array([2.0]), requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        p.grad = np.array([0.0])
+        opt.step()
+        assert p.numpy()[0] < 2.0
+
+
+class TestClipGradNorm:
+    def test_returns_preclip_norm(self):
+        p = Tensor(np.zeros(3), requires_grad=True)
+        p.grad = np.array([3.0, 4.0, 0.0])
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(5.0)
+        assert p.grad == pytest.approx([3.0, 4.0, 0.0])  # under the cap
+
+    def test_scales_down_when_over(self):
+        p = Tensor(np.zeros(2), requires_grad=True)
+        p.grad = np.array([3.0, 4.0])
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_global_norm_over_multiple_params(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        b = Tensor(np.zeros(1), requires_grad=True)
+        a.grad = np.array([3.0])
+        b.grad = np.array([4.0])
+        norm = clip_grad_norm([a, b], max_norm=2.5)
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(a.grad[0] ** 2 + b.grad[0] ** 2)
+        assert total == pytest.approx(2.5)
+
+    def test_ignores_none_grads(self):
+        a = Tensor(np.zeros(1), requires_grad=True)
+        assert clip_grad_norm([a], max_norm=1.0) == 0.0

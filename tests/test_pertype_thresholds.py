@@ -1,0 +1,105 @@
+"""Tests for per-attack-type thresholds in the detector and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, XatuDetector, XatuModel
+from repro.signals import FeatureExtractor, FeatureScaler
+from tests.conftest import small_model_config
+
+
+@pytest.fixture(scope="module")
+def detector_setup(trace):
+    cfg = small_model_config()
+    model_a = XatuModel(cfg)
+    model_b = XatuModel(cfg)
+    scaler = FeatureScaler()
+    scaler.mean_ = np.zeros(273)
+    scaler.std_ = np.ones(273)
+    extractor = FeatureExtractor(trace)
+    # Determine a type actually present in the trace so routing happens.
+    present_types = {e.attack_type.value for e in trace.events}
+    typed = sorted(present_types)[0]
+    models = {"_default": model_a, typed: model_b}
+    scalers = {"_default": scaler, typed: scaler}
+    return trace, extractor, models, scalers, typed
+
+
+class TestServingKeysAndThresholds:
+    def test_single_model_key(self, trace):
+        cfg = small_model_config()
+        scaler = FeatureScaler()
+        scaler.mean_ = np.zeros(273)
+        scaler.std_ = np.ones(273)
+        det = XatuDetector(trace, FeatureExtractor(trace), XatuModel(cfg), scaler)
+        assert det.serving_key(0) == "_single"
+
+    def test_attacked_customer_routes_to_typed_model(self, detector_setup):
+        trace, extractor, models, scalers, typed = detector_setup
+        det = XatuDetector(trace, extractor, models, scalers)
+        victim = next(
+            e.customer_id for e in trace.events if e.attack_type.value == typed
+        )
+        # serving_key uses the customer's most recent attack type.
+        last_type = None
+        for e in trace.events:
+            if e.customer_id == victim:
+                last_type = e.attack_type.value
+        expected = typed if last_type == typed else "_default"
+        assert det.serving_key(victim) in (expected, "_default", typed)
+
+    def test_never_attacked_customer_uses_default(self, detector_setup):
+        trace, extractor, models, scalers, _typed = detector_setup
+        attacked = {e.customer_id for e in trace.events}
+        quiet = [c.customer_id for c in trace.world.customers if c.customer_id not in attacked]
+        if not quiet:
+            pytest.skip("every customer attacked on this seed")
+        det = XatuDetector(trace, extractor, models, scalers)
+        assert det.serving_key(quiet[0]) == "_default"
+
+    def test_threshold_override_applies(self, detector_setup):
+        trace, extractor, models, scalers, typed = detector_setup
+        det = XatuDetector(
+            trace, extractor, models, scalers,
+            DetectorConfig(threshold=0.5, thresholds_by_key={typed: 0.05}),
+        )
+        for customer in trace.world.customers:
+            cid = customer.customer_id
+            expected = 0.05 if det.serving_key(cid) == typed else 0.5
+            assert det.threshold_for(cid) == expected
+
+    def test_missing_override_falls_back(self, detector_setup):
+        trace, extractor, models, scalers, _typed = detector_setup
+        det = XatuDetector(
+            trace, extractor, models, scalers,
+            DetectorConfig(threshold=0.7, thresholds_by_key={}),
+        )
+        assert det.threshold_for(0) == 0.7
+
+    def test_mismatched_model_scaler_types_rejected(self, detector_setup):
+        trace, extractor, models, _scalers, _typed = detector_setup
+        single_scaler = FeatureScaler()
+        with pytest.raises(ValueError, match="single or per-type"):
+            XatuDetector(trace, extractor, models, single_scaler)
+
+
+class TestPerTypePipelineThresholds:
+    def test_registry_thresholds_set_after_run(self):
+        from repro.core import PipelineConfig, TrainConfig, XatuPipeline
+        from tests.conftest import small_model_config, small_scenario
+
+        config = PipelineConfig(
+            scenario=small_scenario(),
+            model=small_model_config(),
+            train=TrainConfig(epochs=2, batch_size=8, learning_rate=3e-3),
+            overhead_bound=0.25,
+            per_type=True,
+            min_events_per_type=4,
+        )
+        pipeline = XatuPipeline(config)
+        result = pipeline.run()
+        # Every entry that serves at least one customer got a calibrated
+        # threshold strictly inside (0, 1).
+        for key, entry in pipeline.registry.entries.items():
+            assert 0.0 < entry.threshold < 1.0
+        assert 0.0 <= result.effectiveness.median <= 1.0

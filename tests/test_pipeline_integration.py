@@ -1,0 +1,121 @@
+"""Integration tests: the full §6 pipeline on a small scenario.
+
+The heavy pipeline run is session-scoped (see conftest) — these tests
+assert on its artefacts from multiple angles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PipelineConfig, SplitSpec, XatuPipeline
+from repro.scrub import DiversionWindow, ScrubbingCenter
+
+
+class TestSplitSpec:
+    def test_default_is_50_20_30(self):
+        (a0, a1), (b0, b1), (c0, c1) = SplitSpec().bounds(1000)
+        assert (a0, a1) == (0, 500)
+        assert (b0, b1) == (500, 700)
+        assert (c0, c1) == (700, 1000)
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SplitSpec(train=0.5, validation=0.5, test=0.5)
+
+
+class TestPipelineRun:
+    def test_training_loss_decreases(self, pipeline_result):
+        _pipeline, result = pipeline_result
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_calibration_respects_bound_on_validation(self, pipeline_result):
+        pipeline, result = pipeline_result
+        assert result.calibration.feasible
+        assert result.calibration.overhead_p75 <= pipeline.config.overhead_bound + 1e-9
+
+    def test_metrics_in_valid_ranges(self, pipeline_result):
+        _pipeline, result = pipeline_result
+        assert 0.0 <= result.effectiveness.median <= 1.0
+        assert result.overhead.median >= 0.0
+        assert np.isfinite(result.delay.median)
+
+    def test_detection_windows_inside_test_range(self, pipeline_result):
+        _pipeline, result = pipeline_result
+        lo, hi = result.test_range
+        for window in result.detection.windows:
+            assert lo <= window.start < window.end <= hi
+
+    def test_alerts_reference_real_customers(self, pipeline_result):
+        pipeline, result = pipeline_result
+        ids = {c.customer_id for c in pipeline.trace.world.customers}
+        for alert in result.detection.alerts:
+            assert alert.customer_id in ids
+            assert 0.0 <= alert.survival < 1.0
+
+    def test_xatu_detects_earlier_than_cdet_on_shared_events(self, pipeline_result):
+        """The headline claim: on events both systems catch, Xatu's median
+        detection delay is no worse than CDet's."""
+        pipeline, result = pipeline_result
+        lo, hi = result.eval_range
+        cdet_delay = {}
+        for alert in result.cdet_alerts:
+            if alert.event_id >= 0:
+                event = pipeline.trace.events[alert.event_id]
+                if lo <= event.onset < hi:
+                    delay = alert.detect_minute - event.onset
+                    cdet_delay.setdefault(alert.event_id, delay)
+        shared = []
+        for event_id, cdelay in cdet_delay.items():
+            xdelay = result.report.detection_delay.get(event_id)
+            if xdelay is not None:
+                shared.append((xdelay, cdelay))
+        if not shared:
+            pytest.skip("no shared detections in eval range for this seed")
+        x_med = np.median([x for x, _ in shared])
+        c_med = np.median([c for _, c in shared])
+        assert x_med <= c_med
+
+    def test_xatu_effectiveness_beats_cdet(self, pipeline_result):
+        pipeline, result = pipeline_result
+        lo, hi = result.eval_range
+        windows = [
+            DiversionWindow(a.customer_id, a.detect_minute, a.end_minute)
+            for a in result.cdet_alerts
+        ]
+        cdet_report = ScrubbingCenter(pipeline.trace).account(windows)
+        events = [e for e in pipeline.trace.events if lo <= e.onset < hi]
+        if len(events) < 2:
+            pytest.skip("too few eval events for this seed")
+        cdet_eff = np.median([cdet_report.effectiveness(e.event_id) for e in events])
+        assert result.effectiveness.median >= cdet_eff - 1e-9
+
+    def test_summary_keys(self, pipeline_result):
+        _pipeline, result = pipeline_result
+        summary = result.summary()
+        assert set(summary) == {
+            "effectiveness_median", "overhead_p75", "delay_median", "threshold",
+        }
+
+    def test_stabilization_period_excluded(self, pipeline_result):
+        _pipeline, result = pipeline_result
+        (test_lo, test_hi) = result.test_range
+        (eval_lo, eval_hi) = result.eval_range
+        assert eval_lo > test_lo
+        assert eval_hi == test_hi
+
+
+class TestFeatureAblationPipeline:
+    def test_volumetric_only_pipeline_runs(self):
+        """The no-aux ablation path must run end to end."""
+        from tests.conftest import small_model_config, small_scenario
+        from repro.core import TrainConfig
+
+        config = PipelineConfig(
+            scenario=small_scenario(seed=4),
+            model=small_model_config(),
+            train=TrainConfig(epochs=2, batch_size=8, learning_rate=3e-3),
+            overhead_bound=0.5,
+            enabled_groups=frozenset({"V"}),
+        )
+        result = XatuPipeline(config).run()
+        assert 0.0 <= result.effectiveness.median <= 1.0

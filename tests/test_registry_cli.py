@@ -1,0 +1,121 @@
+"""Tests for the per-type model registry and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import TrainConfig, XatuModelRegistry, alerts_to_records
+from repro.core.registry import DEFAULT_KEY
+from repro.detect import NetScoutDetector
+from repro.signals import FeatureExtractor
+from repro.synth import AttackType
+from tests.conftest import small_model_config
+
+
+@pytest.fixture(scope="module")
+def trained_registry(trace):
+    alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+    extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
+    registry = XatuModelRegistry(
+        small_model_config(), TrainConfig(epochs=2, batch_size=8, learning_rate=3e-3)
+    )
+    split = int(trace.horizon * 0.7)
+    registry.train(trace, extractor, alerts, (0, split), (split, trace.horizon),
+                   min_events_per_type=3)
+    return registry, alerts
+
+
+class TestRegistry:
+    def test_default_model_always_present(self, trained_registry):
+        registry, _alerts = trained_registry
+        assert DEFAULT_KEY in registry.entries
+
+    def test_frequent_types_get_own_model(self, trained_registry, trace):
+        registry, alerts = trained_registry
+        split = int(trace.horizon * 0.7)
+        counts = {}
+        for a in alerts:
+            if a.detect_minute < split:
+                name = trace.events[a.event_id].attack_type.value
+                counts[name] = counts.get(name, 0) + 1
+        for name, n in counts.items():
+            if n >= 3:
+                assert name in registry.entries
+
+    def test_entry_for_falls_back_to_default(self, trained_registry):
+        registry, _alerts = trained_registry
+        entry = registry.entry_for("nonexistent_type")
+        assert entry is registry.entries[DEFAULT_KEY]
+        assert registry.entry_for(None) is registry.entries[DEFAULT_KEY]
+
+    def test_entry_for_accepts_enum(self, trained_registry):
+        registry, _alerts = trained_registry
+        entry = registry.entry_for(AttackType.UDP_FLOOD)
+        assert entry in registry.entries.values()
+
+    def test_set_threshold_validation(self, trained_registry):
+        registry, _alerts = trained_registry
+        registry.set_threshold(DEFAULT_KEY, 0.3)
+        assert registry.entries[DEFAULT_KEY].threshold == 0.3
+        with pytest.raises(KeyError):
+            registry.set_threshold("nope", 0.5)
+        with pytest.raises(ValueError):
+            registry.set_threshold(DEFAULT_KEY, 1.5)
+
+    def test_models_and_scalers_dicts_aligned(self, trained_registry):
+        registry, _alerts = trained_registry
+        assert set(registry.models_dict()) == set(registry.scalers_dict())
+
+    def test_save_load_roundtrip(self, trained_registry, tmp_path, rng):
+        registry, _alerts = trained_registry
+        registry.set_threshold(DEFAULT_KEY, 0.42)
+        registry.save(tmp_path / "models")
+        restored = XatuModelRegistry.load(tmp_path / "models")
+        assert set(restored.entries) == set(registry.entries)
+        assert restored.entries[DEFAULT_KEY].threshold == 0.42
+        cfg = registry.model_config
+        x = rng.normal(size=(1, cfg.lookback_minutes, cfg.n_features))
+        scaled = registry.entries[DEFAULT_KEY].scaler.transform(x[0])[None]
+        original = registry.entries[DEFAULT_KEY].model.hazards_np(scaled)
+        reloaded = restored.entries[DEFAULT_KEY].model.hazards_np(scaled)
+        assert reloaded == pytest.approx(original)
+
+    def test_untrained_registry_errors(self):
+        registry = XatuModelRegistry(small_model_config(), TrainConfig())
+        with pytest.raises(RuntimeError):
+            registry.entry_for(None)
+        with pytest.raises(RuntimeError):
+            registry.save("/tmp/should_not_exist")
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_census_runs(self, capsys):
+        rc = main(["census", "--days", "8", "--customers", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Attack preparation signals" in out
+        assert "Table 2" in out
+
+    def test_pipeline_runs(self, capsys):
+        rc = main([
+            "pipeline", "--days", "12", "--customers", "6",
+            "--epochs", "2", "--overhead-bound", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "effectiveness" in out
+        assert "overhead" in out
+
+    def test_train_saves_models(self, tmp_path, capsys):
+        rc = main([
+            "train", "--days", "12", "--customers", "6",
+            "--epochs", "1", "--out", str(tmp_path / "m"),
+        ])
+        assert rc == 0
+        assert (tmp_path / "m" / "manifest.json").exists()
+        restored = XatuModelRegistry.load(tmp_path / "m")
+        assert DEFAULT_KEY in restored.entries

@@ -1,0 +1,54 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.eval import build_report
+
+
+class TestBuildReport:
+    @pytest.fixture(scope="class")
+    def report(self, trace):
+        return build_report(trace=trace)
+
+    def test_contains_every_section(self, report):
+        for heading in (
+            "Attack preparation signals",
+            "Attack type transitions",
+            "Attacker activity by day",
+            "Clustering coefficient",
+            "Naive early detection",
+            "Attack counts per split",
+        ):
+            assert heading in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_trace_summary_line_present(self, report, trace):
+        assert f"{len(trace.events)} attacks" in report
+
+    def test_accepts_scenario_instead_of_trace(self):
+        from tests.conftest import small_scenario
+
+        report = build_report(small_scenario())
+        assert report.startswith("# Xatu reproduction")
+
+
+class TestReportCli:
+    def test_report_to_stdout(self, capsys):
+        rc = main(["report", "--days", "8", "--customers", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "# Xatu reproduction" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        rc = main(["report", "--days", "8", "--customers", "5", "--out", str(path)])
+        assert rc == 0
+        assert path.exists()
+        assert "# Xatu reproduction" in path.read_text()

@@ -1,0 +1,53 @@
+"""Tests for the shared scrubbing-report summarizer."""
+
+import numpy as np
+import pytest
+
+from repro.scrub import DiversionWindow, ScrubbingCenter, summarize_report
+
+
+class TestSummarizeReport:
+    @pytest.fixture(scope="class")
+    def full_coverage(self, trace):
+        windows = [
+            DiversionWindow(c.customer_id, 0, trace.horizon)
+            for c in trace.world.customers
+        ]
+        report = ScrubbingCenter(trace).account(windows)
+        return trace, report
+
+    def test_full_coverage_ideal_metrics(self, full_coverage):
+        trace, report = full_coverage
+        summary = summarize_report(trace, report)
+        assert summary.effectiveness.median == pytest.approx(1.0)
+        assert summary.detection_rate == 1.0
+        assert summary.n_events == len(trace.events)
+
+    def test_no_coverage_metrics(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        summary = summarize_report(trace, report, missed_delay=42)
+        assert summary.effectiveness.median == 0.0
+        assert summary.detection_rate == 0.0
+        assert summary.delay.median == 42.0
+        assert summary.overhead.median == 0.0
+
+    def test_minute_range_filters_events(self, full_coverage):
+        trace, report = full_coverage
+        half = trace.horizon // 2
+        first = summarize_report(trace, report, (0, half))
+        second = summarize_report(trace, report, (half, trace.horizon))
+        assert first.n_events + second.n_events == len(trace.events)
+
+    def test_empty_range(self, full_coverage):
+        trace, report = full_coverage
+        summary = summarize_report(trace, report, (0, 1))
+        possible = [e for e in trace.events if e.onset == 0]
+        assert summary.n_events == len(possible)
+        assert summary.detection_rate in (0.0, 1.0)
+
+    def test_percentile_conventions(self, full_coverage):
+        trace, report = full_coverage
+        summary = summarize_report(trace, report)
+        assert summary.effectiveness.low_pct == 10
+        assert summary.overhead.low_pct == 25
+        assert summary.overhead.high_pct == 75

@@ -1,0 +1,67 @@
+"""Direct tests for the weights (de)serialization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, LSTM, Sequential, load_module_into, load_state, save_module
+
+
+class TestSaveLoad:
+    def test_npz_suffix_added(self, tmp_path, rng):
+        layer = Dense(3, 2, rng=rng)
+        path = save_module(layer, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_metadata_sidecar(self, tmp_path, rng):
+        layer = Dense(3, 2, rng=rng)
+        save_module(layer, tmp_path / "w", metadata={"attack_type": "udp", "thr": 0.4})
+        state, meta = load_state(tmp_path / "w")
+        assert meta == {"attack_type": "udp", "thr": 0.4}
+        assert set(state) == {"weight", "bias"}
+
+    def test_no_metadata_is_empty_dict(self, tmp_path, rng):
+        layer = Dense(3, 2, rng=rng)
+        save_module(layer, tmp_path / "w")
+        _state, meta = load_state(tmp_path / "w")
+        assert meta == {}
+
+    def test_load_module_into_restores_weights(self, tmp_path):
+        a = Dense(4, 3, rng=np.random.default_rng(1))
+        b = Dense(4, 3, rng=np.random.default_rng(2))
+        save_module(a, tmp_path / "w", metadata={"v": 1})
+        meta = load_module_into(b, tmp_path / "w")
+        assert meta == {"v": 1}
+        assert b.weight.numpy() == pytest.approx(a.weight.numpy())
+
+    def test_nested_module_roundtrip(self, tmp_path):
+        model = Sequential(
+            Dense(4, 3, rng=np.random.default_rng(3)),
+            Dense(3, 2, rng=np.random.default_rng(4)),
+        )
+        save_module(model, tmp_path / "seq")
+        clone = Sequential(
+            Dense(4, 3, rng=np.random.default_rng(5)),
+            Dense(3, 2, rng=np.random.default_rng(6)),
+        )
+        load_module_into(clone, tmp_path / "seq")
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        from repro.nn import Tensor
+
+        assert clone(Tensor(x)).numpy() == pytest.approx(model(Tensor(x)).numpy())
+
+    def test_lstm_roundtrip(self, tmp_path, rng):
+        lstm = LSTM(3, 4, rng=np.random.default_rng(7))
+        save_module(lstm, tmp_path / "lstm")
+        clone = LSTM(3, 4, rng=np.random.default_rng(8))
+        load_module_into(clone, tmp_path / "lstm")
+        assert clone.w_h.numpy() == pytest.approx(lstm.w_h.numpy())
+
+    def test_creates_parent_directories(self, tmp_path, rng):
+        layer = Dense(2, 2, rng=rng)
+        path = save_module(layer, tmp_path / "a" / "b" / "weights")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_state(tmp_path / "nope")

@@ -1,0 +1,125 @@
+"""Tests for trace persistence (save_trace / load_trace)."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.synth import TraceGenerator, load_trace, save_trace, world_checksum
+from repro.netflow import SOURCE_CLASS_ALL, SOURCE_CLASS_BLOCKLIST
+
+
+@pytest.fixture(scope="module")
+def saved(trace, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("trace_store")
+    save_trace(trace, directory)
+    return directory, trace, load_trace(directory)
+
+
+class TestRoundtrip:
+    def test_files_created(self, saved):
+        directory, *_ = saved
+        for name in ("trace.json", "matrix.npz", "events.npz"):
+            assert (directory / name).exists()
+
+    def test_config_preserved(self, saved):
+        _dir, original, restored = saved
+        assert restored.config == original.config
+
+    def test_counters_preserved(self, saved):
+        _dir, original, restored = saved
+        assert restored.horizon == original.horizon
+        assert restored.total_flows == original.total_flows
+        assert restored.sampled_flows == original.sampled_flows
+
+    def test_events_roundtrip(self, saved):
+        _dir, original, restored = saved
+        assert len(restored.events) == len(original.events)
+        for a, b in zip(original.events, restored.events):
+            assert a.event_id == b.event_id
+            assert a.attack_type == b.attack_type
+            assert a.onset == b.onset and a.end == b.end
+            assert a.signature == b.signature
+            assert a.attackers == b.attackers
+            assert b.anomalous_bytes == pytest.approx(a.anomalous_bytes)
+
+    def test_preps_roundtrip(self, saved):
+        _dir, original, restored = saved
+        assert len(restored.preps) == len(original.preps)
+        assert restored.preps[0] == original.preps[0]
+
+    def test_matrix_series_identical(self, saved):
+        _dir, original, restored = saved
+        for customer in original.world.customers[:3]:
+            cid = customer.customer_id
+            a = original.matrix.bytes_series(cid, 0, original.horizon)
+            b = restored.matrix.bytes_series(cid, 0, restored.horizon)
+            assert b == pytest.approx(a)
+
+    def test_matrix_feature_blocks_identical(self, saved):
+        _dir, original, restored = saved
+        event = original.events[0]
+        for cls in (SOURCE_CLASS_ALL, SOURCE_CLASS_BLOCKLIST):
+            a = original.matrix.feature_block(
+                event.customer_id, event.onset - 30, event.end, cls
+            )
+            b = restored.matrix.feature_block(
+                event.customer_id, event.onset - 30, event.end, cls
+            )
+            assert b == pytest.approx(a)
+
+    def test_world_reconstructed_identically(self, saved):
+        _dir, original, restored = saved
+        assert world_checksum(restored.world) == world_checksum(original.world)
+        assert [c.address for c in restored.world.customers] == [
+            c.address for c in original.world.customers
+        ]
+
+    def test_restored_trace_usable_by_detectors(self, saved):
+        from repro.detect import NetScoutDetector
+
+        _dir, original, restored = saved
+        a = NetScoutDetector().run(original)
+        b = NetScoutDetector().run(restored)
+        assert [(x.customer_id, x.detect_minute) for x in a] == [
+            (x.customer_id, x.detect_minute) for x in b
+        ]
+
+
+class TestGuards:
+    def test_version_mismatch_rejected(self, saved):
+        directory, *_ = saved
+        manifest = json.loads((directory / "trace.json").read_text())
+        manifest["format_version"] = 999
+        bad_dir = directory.parent / "bad_version"
+        bad_dir.mkdir(exist_ok=True)
+        for name in ("matrix.npz", "events.npz"):
+            (bad_dir / name).write_bytes((directory / name).read_bytes())
+        (bad_dir / "trace.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="unsupported trace format"):
+            load_trace(bad_dir)
+
+    def test_checksum_mismatch_rejected(self, saved):
+        directory, *_ = saved
+        manifest = json.loads((directory / "trace.json").read_text())
+        manifest["world_checksum"] = manifest["world_checksum"] ^ 0xDEAD
+        bad_dir = directory.parent / "bad_checksum"
+        bad_dir.mkdir(exist_ok=True)
+        for name in ("matrix.npz", "events.npz"):
+            (bad_dir / name).write_bytes((directory / name).read_bytes())
+        (bad_dir / "trace.json").write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="mismatch"):
+            load_trace(bad_dir)
+
+    def test_sampling_rates_tuple_restored(self, tmp_path):
+        cfg = dataclasses.replace(
+            TraceGenerator().config,
+            total_days=2, minutes_per_day=60, prep_days=0.5,
+            n_customers=3, n_botnets=1, botnet_size=40,
+            sampling_rates=(1, 10),
+        )
+        trace = TraceGenerator(cfg).generate()
+        save_trace(trace, tmp_path / "t")
+        restored = load_trace(tmp_path / "t")
+        assert restored.config.sampling_rates == (1, 10)

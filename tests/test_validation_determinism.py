@@ -1,0 +1,105 @@
+"""Scenario validation, pipeline determinism, and registry→online bridging."""
+
+import numpy as np
+import pytest
+
+from repro.synth import ScenarioConfig
+
+
+class TestScenarioValidation:
+    def test_defaults_valid(self):
+        ScenarioConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"total_days": 0},
+            {"minutes_per_day": 0},
+            {"prep_days": -1},
+            {"prep_days": 200, "total_days": 100},
+            {"n_customers": 0},
+            {"n_botnets": 0},
+            {"botnet_size": 0},
+            {"sampling_rate": 0},
+            {"sampling_rates": ()},
+            {"sampling_rates": (1, 0)},
+            {"rampup_volume_scale": 0.0},
+            {"ramp_rate": -1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+
+class TestPipelineDeterminism:
+    def test_same_seed_same_results(self):
+        from repro.core import PipelineConfig, TrainConfig, XatuPipeline
+        from tests.conftest import small_model_config
+
+        def run_once():
+            config = PipelineConfig(
+                scenario=ScenarioConfig(
+                    total_days=10, minutes_per_day=100, prep_days=1.5,
+                    n_customers=5, n_botnets=2, botnet_size=60, seed=9,
+                ),
+                model=small_model_config(),
+                train=TrainConfig(epochs=2, batch_size=8, learning_rate=3e-3),
+                overhead_bound=0.25,
+                seed=5,
+            )
+            return XatuPipeline(config).run()
+
+        a = run_once()
+        b = run_once()
+        assert a.summary() == b.summary()
+        assert a.train_losses == b.train_losses
+        assert len(a.detection.alerts) == len(b.detection.alerts)
+
+
+class TestRegistryToOnline:
+    def test_from_registry_builds_working_detector(self, trace):
+        from repro.core import (
+            OnlineXatu,
+            TrainConfig,
+            XatuModelRegistry,
+            alerts_to_records,
+        )
+        from repro.detect import NetScoutDetector
+        from repro.signals import FeatureExtractor
+        from tests.conftest import small_model_config
+
+        alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+        extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
+        registry = XatuModelRegistry(
+            small_model_config(), TrainConfig(epochs=1, batch_size=8)
+        )
+        registry.train(trace, extractor, alerts, (0, int(trace.horizon * 0.7)))
+        registry.set_threshold("_default", 0.3)
+
+        blocklist = set()
+        for botnet in trace.world.botnets:
+            blocklist.update(int(a) for a in botnet.blocklisted_members)
+        online = OnlineXatu.from_registry(
+            registry,
+            attack_type=None,
+            customer_of={c.address: c.customer_id for c in trace.world.customers},
+            blocklist=blocklist,
+            route_table=trace.world.route_table,
+        )
+        assert online.threshold == 0.3
+        online.observe_minute(0, [])
+        assert online.current_minute == 0
+
+
+class TestEvasionCli:
+    def test_evasion_command_runs(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "evasion", "--days", "12", "--customers", "6",
+            "--epochs", "1", "--overhead-bound", "0.5",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "evasive" in out

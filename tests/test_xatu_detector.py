@@ -1,0 +1,128 @@
+"""Direct unit tests for XatuDetector's online sliding evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, XatuDetector, XatuModel
+from repro.signals import FeatureExtractor, FeatureScaler
+from tests.conftest import small_model_config
+
+
+def identity_scaler():
+    scaler = FeatureScaler()
+    scaler.mean_ = np.zeros(273)
+    scaler.std_ = np.ones(273)
+    return scaler
+
+
+def make_model(bias: float):
+    model = XatuModel(small_model_config())
+    model.combine.bias.data[...] = bias
+    return model
+
+
+@pytest.fixture(scope="module")
+def cold_run(trace):
+    """A run with the cold model: survival ~1, no alerts expected."""
+    detector = XatuDetector(
+        trace, FeatureExtractor(trace), make_model(-6.0), identity_scaler(),
+        DetectorConfig(threshold=0.3),
+    )
+    lo = trace.horizon - 240
+    return trace, detector, detector.run((lo, trace.horizon)), lo
+
+
+class TestColdDetector:
+    def test_no_alerts_when_survival_high(self, cold_run):
+        _trace, _det, output, _lo = cold_run
+        assert output.alerts == []
+        assert output.windows == []
+
+    def test_hazard_series_cover_range(self, cold_run):
+        trace, _det, output, lo = cold_run
+        for cid, series in output.hazard_series.items():
+            assert len(series) == trace.horizon - lo
+            assert (series >= 0).all()
+
+    def test_all_customers_scored(self, cold_run):
+        trace, _det, output, _lo = cold_run
+        assert set(output.hazard_series) == {
+            c.customer_id for c in trace.world.customers
+        }
+
+
+class TestHotDetector:
+    @pytest.fixture(scope="class")
+    def hot_run(self, trace):
+        detector = XatuDetector(
+            trace, FeatureExtractor(trace), make_model(2.0), identity_scaler(),
+            DetectorConfig(threshold=0.3, max_fp_diversion=5, autoregressive=False),
+        )
+        lo = trace.horizon - 120
+        return trace, detector, detector.run((lo, trace.horizon)), lo
+
+    def test_alerts_fire(self, hot_run):
+        _trace, _det, output, _lo = hot_run
+        assert output.alerts
+
+    def test_alert_survival_below_threshold(self, hot_run):
+        _trace, _det, output, _lo = hot_run
+        for alert in output.alerts:
+            assert alert.survival < 0.3
+
+    def test_no_alert_during_active_diversion(self, hot_run):
+        _trace, _det, output, _lo = hot_run
+        by_customer: dict[int, list] = {}
+        for window in output.windows:
+            by_customer.setdefault(window.customer_id, []).append(window)
+        for windows in by_customer.values():
+            windows.sort(key=lambda w: w.start)
+            for a, b in zip(windows, windows[1:]):
+                assert b.start >= a.end
+
+    def test_unmatched_diversions_capped(self, hot_run):
+        trace, _det, output, _lo = hot_run
+        for window, alert in zip(output.windows, output.alerts):
+            if alert.event_id < 0:
+                assert window.end - window.start <= 5
+
+    def test_windows_align_with_alerts(self, hot_run):
+        _trace, _det, output, _lo = hot_run
+        assert len(output.windows) == len(output.alerts)
+        for window, alert in zip(output.windows, output.alerts):
+            assert window.start == alert.minute
+            assert window.customer_id == alert.customer_id
+
+
+class TestAutoregressiveFeedback:
+    def test_alerts_feed_history_store(self, trace):
+        extractor = FeatureExtractor(trace)
+        detector = XatuDetector(
+            trace, extractor, make_model(2.0), identity_scaler(),
+            DetectorConfig(threshold=0.3, autoregressive=True),
+        )
+        lo = trace.horizon - 120
+        output = detector.run((lo, trace.horizon))
+        matched = [a for a in output.alerts if a.event_id >= 0]
+        if not matched:
+            pytest.skip("no matched alerts in this slice")
+        # The history store saw at least the matched alerts.
+        total_after = sum(
+            extractor.history.alerts_before(c.customer_id, trace.horizon)
+            for c in trace.world.customers
+        )
+        assert total_after >= len({a.event_id for a in matched})
+
+    def test_non_autoregressive_leaves_stores_untouched(self, trace):
+        extractor = FeatureExtractor(trace)
+        detector = XatuDetector(
+            trace, extractor, make_model(2.0), identity_scaler(),
+            DetectorConfig(threshold=0.3, autoregressive=False),
+        )
+        lo = trace.horizon - 120
+        detector.run((lo, trace.horizon))
+        total = sum(
+            extractor.history.alerts_before(c.customer_id, trace.horizon)
+            for c in trace.world.customers
+        )
+        assert total == 0
