@@ -1,0 +1,20 @@
+# Developer entry points.  `make verify` is the pre-merge gate: the full
+# tier-1 suite plus the golden differential check (docs/TESTING.md).
+
+PY := PYTHONPATH=src python
+
+.PHONY: verify test fast golden-check golden-record
+
+test:
+	$(PY) -m pytest -x -q
+
+fast:
+	$(PY) -m pytest -x -q -m "not slow"
+
+golden-check:
+	$(PY) -m repro.cli golden check
+
+golden-record:
+	$(PY) -m repro.cli golden record
+
+verify: test golden-check

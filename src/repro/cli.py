@@ -168,6 +168,21 @@ def cmd_evasion(args) -> int:
     return 0
 
 
+def cmd_golden(args) -> int:
+    """Record or check the differential-correctness golden fixture."""
+    from .testing import GoldenSpec, check_golden, record_golden
+
+    if args.action == "record":
+        spec = GoldenSpec(seed=args.seed, epochs=args.epochs)
+        path = record_golden(args.path, spec)
+        print(f"recorded golden fixture at {path} (seed {spec.seed}, "
+              f"{spec.epochs} epochs)")
+        return 0
+    report = check_golden(args.path)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_report(args) -> int:
     from .eval import build_report
 
@@ -213,6 +228,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--out", default=None,
                            help="write the markdown report here (default: stdout)")
         p.set_defaults(func=func)
+
+    golden = sub.add_parser(
+        "golden",
+        help="record/check the differential-correctness golden fixture",
+        description="Golden end-to-end traces: `record` freezes a "
+        "deterministic training/detection run to disk; `check` re-runs it "
+        "against the current code and diffs every array (see docs/TESTING.md).",
+    )
+    golden.add_argument("action", choices=["record", "check"])
+    golden.add_argument("--path", default="tests/fixtures/golden",
+                        help="fixture directory (manifest.json + arrays.npz)")
+    golden.add_argument("--seed", type=int, default=7,
+                        help="recipe seed (record only)")
+    golden.add_argument("--epochs", type=int, default=2,
+                        help="training epochs in the recipe (record only)")
+    golden.set_defaults(func=cmd_golden)
     return parser
 
 

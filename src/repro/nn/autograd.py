@@ -13,6 +13,7 @@ broadcasting support so the engine is usable as a general library.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -23,7 +24,33 @@ _GRAD_ENABLED = True
 
 
 class no_grad:
-    """Context manager that disables graph construction (inference mode)."""
+    """Disable graph construction (inference mode).
+
+    Usable three ways, all exception-safe — the previous grad mode is
+    restored even when the guarded body raises, and nesting works::
+
+        with no_grad():
+            model(x)
+
+        @no_grad          # bare decorator
+        def infer(x): ...
+
+        @no_grad()        # called decorator (PyTorch style)
+        def infer(x): ...
+    """
+
+    def __new__(cls, func: Callable | None = None):
+        if func is not None:
+            if not callable(func):
+                raise TypeError("no_grad takes no arguments; use @no_grad or @no_grad()")
+
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                with cls():
+                    return func(*args, **kwargs)
+
+            return wrapper
+        return super().__new__(cls)
 
     def __enter__(self) -> "no_grad":
         global _GRAD_ENABLED
@@ -31,9 +58,22 @@ class no_grad:
         _GRAD_ENABLED = False
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc) -> bool:
+        # Always restore the saved flag — including when the body raised
+        # (``exc`` is then the in-flight exception info) and under nesting.
         global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_ENABLED = getattr(self, "_prev", True)
+        return False  # never swallow the exception
+
+    def __call__(self, func: Callable) -> Callable:
+        """Support ``@no_grad()`` — decorate with a fresh guard per call."""
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with type(self)():
+                return func(*args, **kwargs)
+
+        return wrapper
 
 
 def is_grad_enabled() -> bool:

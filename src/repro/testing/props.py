@@ -1,0 +1,373 @@
+"""A dependency-free property-based testing runner with shrinking.
+
+``hypothesis`` is available in this repo's dev environment, but the core
+invariants of the nn/survival stack must stay checkable in *any*
+environment the library ships to (the production deployments in the
+ROADMAP won't carry a dev extra).  This module is a small self-contained
+replacement: composable generators (:class:`Gen`), a greedy shrinker, and
+:func:`run_property` / :func:`forall` entry points.
+
+A generator knows two things: how to ``sample`` a random value from a
+``numpy.random.Generator``, and how to ``shrinks`` a failing value into
+candidate simpler values.  When a property fails, the runner greedily
+re-tries shrunk candidates (one argument at a time) until no candidate
+still fails, then raises :class:`PropertyError` carrying the minimal
+counterexample and the seed needed to replay it.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Gen",
+    "PropertyError",
+    "integers",
+    "floats",
+    "choices",
+    "arrays",
+    "tensors",
+    "hazard_batches",
+    "flow_records",
+    "run_property",
+    "forall",
+]
+
+
+class PropertyError(AssertionError):
+    """A property failed; carries the shrunk counterexample for replay."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        seed: int,
+        case_index: int,
+        counterexample: tuple,
+        shrink_steps: int,
+        cause: BaseException,
+    ) -> None:
+        super().__init__(message)
+        self.seed = seed
+        self.case_index = case_index
+        self.counterexample = counterexample
+        self.shrink_steps = shrink_steps
+        self.cause = cause
+
+
+class Gen:
+    """A value generator: ``sample(rng)`` plus a shrink strategy."""
+
+    def __init__(
+        self,
+        sample: Callable[[np.random.Generator], Any],
+        shrinks: Callable[[Any], Iterable[Any]] | None = None,
+        name: str = "gen",
+    ) -> None:
+        self._sample = sample
+        self._shrinks = shrinks or (lambda value: ())
+        self.name = name
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self._sample(rng)
+
+    def shrinks(self, value: Any) -> Iterator[Any]:
+        return iter(self._shrinks(value))
+
+    def map(self, func: Callable[[Any], Any], name: str | None = None) -> "Gen":
+        """Post-process samples; shrinking maps the *underlying* candidates."""
+        return Gen(
+            lambda rng: func(self._sample(rng)),
+            lambda value: (),  # mapped values are opaque to the shrinker
+            name=name or f"map({self.name})",
+        )
+
+
+# ----------------------------------------------------------------------
+# primitive generators
+# ----------------------------------------------------------------------
+def integers(lo: int, hi: int) -> Gen:
+    """Uniform integer in ``[lo, hi]``; shrinks toward ``lo``."""
+    if hi < lo:
+        raise ValueError("integers() needs lo <= hi")
+
+    def shrink(value: int) -> Iterator[int]:
+        value = int(value)
+        seen = set()
+        for candidate in (lo, (lo + value) // 2, value - 1):
+            if lo <= candidate < value and candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+    return Gen(
+        lambda rng: int(rng.integers(lo, hi + 1)),
+        shrink,
+        name=f"integers({lo},{hi})",
+    )
+
+
+def floats(lo: float, hi: float) -> Gen:
+    """Uniform float in ``[lo, hi)``; shrinks toward 0 (or ``lo``)."""
+    target = 0.0 if lo <= 0.0 <= hi else lo
+
+    def shrink(value: float) -> Iterator[float]:
+        value = float(value)
+        if value == target:
+            return
+        yield target
+        mid = (value + target) / 2.0
+        if mid != value:
+            yield mid
+        rounded = float(round(value, 2))
+        if lo <= rounded <= hi and rounded != value:
+            yield rounded
+
+    return Gen(
+        lambda rng: float(rng.uniform(lo, hi)), shrink, name=f"floats({lo},{hi})"
+    )
+
+
+def choices(options: Sequence[Any]) -> Gen:
+    """One of ``options``; shrinks toward earlier entries."""
+    options = list(options)
+    if not options:
+        raise ValueError("choices() needs at least one option")
+
+    def shrink(value: Any) -> Iterator[Any]:
+        idx = options.index(value)
+        if idx > 0:
+            yield options[0]
+
+    return Gen(
+        lambda rng: options[int(rng.integers(len(options)))],
+        shrink,
+        name=f"choices({len(options)})",
+    )
+
+
+def arrays(
+    shape: tuple[int | Gen, ...],
+    lo: float = -3.0,
+    hi: float = 3.0,
+) -> Gen:
+    """Float array whose dims may themselves be :func:`integers` gens.
+
+    Shrinks by (a) replacing all elements with zeros, (b) trimming each
+    dim to length 1, (c) halving magnitudes — the classic moves that keep
+    counterexamples readable.
+    """
+
+    def sample(rng: np.random.Generator) -> np.ndarray:
+        dims = tuple(
+            d.sample(rng) if isinstance(d, Gen) else int(d) for d in shape
+        )
+        return rng.uniform(lo, hi, size=dims)
+
+    def shrink(value: np.ndarray) -> Iterator[np.ndarray]:
+        if value.size and np.any(value != 0) and lo <= 0.0 <= hi:
+            yield np.zeros_like(value)
+            yield value / 2.0
+        for axis in range(value.ndim):
+            if value.shape[axis] > 1:
+                index = [slice(None)] * value.ndim
+                for trimmed in (1, value.shape[axis] // 2, value.shape[axis] - 1):
+                    index[axis] = slice(0, trimmed)
+                    yield value[tuple(index)].copy()
+
+    return Gen(sample, shrink, name="arrays")
+
+
+def tensors(
+    shape: tuple[int | Gen, ...],
+    lo: float = -3.0,
+    hi: float = 3.0,
+    requires_grad: bool = True,
+) -> Gen:
+    """An autograd :class:`repro.nn.Tensor` wrapping :func:`arrays`."""
+    from ..nn import Tensor
+
+    inner = arrays(shape, lo, hi)
+
+    def shrink(value) -> Iterator:
+        for candidate in inner.shrinks(value.data):
+            yield Tensor(candidate, requires_grad=requires_grad)
+
+    return Gen(
+        lambda rng: Tensor(inner.sample(rng), requires_grad=requires_grad),
+        shrink,
+        name="tensors",
+    )
+
+
+def hazard_batches(
+    max_batch: int = 4, max_steps: int = 12, max_rate: float = 2.0
+) -> Gen:
+    """Non-negative hazard-rate batches ``(batch, steps)`` for survival props."""
+    return arrays((integers(1, max_batch), integers(1, max_steps)), 0.0, max_rate)
+
+
+def flow_records(
+    max_packets: int = 10_000, horizon: int = 240
+) -> Gen:
+    """Random :class:`repro.netflow.records.FlowRecord` instances.
+
+    Shrinks toward the 1-packet, minute-0 record, which is the simplest
+    flow a sampler or codec invariant can fail on.
+    """
+    from ..netflow.records import FlowRecord, Protocol, TcpFlags
+
+    protocols = [Protocol.UDP, Protocol.TCP, Protocol.ICMP]
+
+    def sample(rng: np.random.Generator) -> FlowRecord:
+        packets = int(rng.integers(1, max_packets + 1))
+        return FlowRecord(
+            timestamp=int(rng.integers(0, horizon)),
+            src_addr=int(rng.integers(1, 2**32 - 1)),
+            dst_addr=int(rng.integers(1, 2**32 - 1)),
+            src_port=int(rng.integers(0, 2**16)),
+            dst_port=int(rng.integers(0, 2**16)),
+            protocol=protocols[int(rng.integers(len(protocols)))],
+            packets=packets,
+            bytes_=packets * int(rng.integers(40, 1500)),
+            tcp_flags=TcpFlags(0),
+            sampling_rate=1,
+        )
+
+    def shrink(flow) -> Iterator:
+        from dataclasses import replace
+
+        if flow.packets > 1:
+            yield replace(flow, packets=1, bytes_=max(1, flow.bytes_ // flow.packets))
+            yield replace(flow, packets=flow.packets // 2, bytes_=max(1, flow.bytes_ // 2))
+        if flow.timestamp > 0:
+            yield replace(flow, timestamp=0)
+
+    return Gen(sample, shrink, name="flow_records")
+
+
+# ----------------------------------------------------------------------
+# the runner
+# ----------------------------------------------------------------------
+def _run_case(prop: Callable[..., Any], args: tuple) -> BaseException | None:
+    """Run one case; a falsy return or an exception is a failure."""
+    try:
+        result = prop(*args)
+    except BaseException as exc:  # noqa: BLE001 - property bodies may assert
+        if isinstance(exc, KeyboardInterrupt):
+            raise
+        return exc
+    if result is False:
+        return AssertionError("property returned False")
+    return None
+
+
+def _shrink(
+    prop: Callable[..., Any],
+    gens: Sequence[Gen],
+    args: tuple,
+    failure: BaseException,
+    max_shrinks: int,
+) -> tuple[tuple, BaseException, int]:
+    """Greedy per-argument shrinking; returns (min_args, failure, steps)."""
+    current = list(args)
+    current_failure = failure
+    steps = 0
+    budget = max_shrinks
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        for i, gen in enumerate(gens):
+            for candidate in itertools.islice(gen.shrinks(current[i]), 8):
+                budget -= 1
+                trial = list(current)
+                trial[i] = candidate
+                exc = _run_case(prop, tuple(trial))
+                if exc is not None:
+                    current = trial
+                    current_failure = exc
+                    steps += 1
+                    improved = True
+                    break
+                if budget <= 0:
+                    break
+            if budget <= 0:
+                break
+    return tuple(current), current_failure, steps
+
+
+def _describe(value: Any) -> str:
+    if isinstance(value, np.ndarray):
+        with np.printoptions(precision=4, threshold=24, edgeitems=2):
+            return f"ndarray{value.shape} {value!r}"
+    text = repr(value)
+    return text if len(text) <= 200 else text[:200] + "…"
+
+
+def run_property(
+    prop: Callable[..., Any],
+    *gens: Gen,
+    runs: int = 50,
+    seed: int = 0,
+    max_shrinks: int = 200,
+) -> int:
+    """Check ``prop`` over ``runs`` random cases; returns the case count.
+
+    On failure the counterexample is shrunk and a :class:`PropertyError`
+    is raised whose message includes every (minimized) argument plus the
+    ``seed``/``case_index`` needed to replay the exact failure.
+    """
+    rng = np.random.default_rng(seed)
+    for case_index in range(runs):
+        args = tuple(gen.sample(rng) for gen in gens)
+        failure = _run_case(prop, args)
+        if failure is None:
+            continue
+        min_args, min_failure, steps = _shrink(
+            prop, gens, args, failure, max_shrinks
+        )
+        lines = [
+            f"property {getattr(prop, '__name__', prop)!r} failed "
+            f"(case {case_index + 1}/{runs}, seed {seed}, "
+            f"{steps} shrink steps)",
+            f"  failure: {type(min_failure).__name__}: {min_failure}",
+        ]
+        for gen, value in zip(gens, min_args):
+            lines.append(f"  {gen.name} = {_describe(value)}")
+        raise PropertyError(
+            "\n".join(lines),
+            seed=seed,
+            case_index=case_index,
+            counterexample=min_args,
+            shrink_steps=steps,
+            cause=min_failure,
+        )
+    return runs
+
+
+def forall(
+    *gens: Gen, runs: int = 50, seed: int = 0, max_shrinks: int = 200
+):
+    """Decorator form of :func:`run_property` for test functions.
+
+    The decorated function runs the whole sweep when called with no
+    arguments (as pytest does), but can still be called directly with
+    explicit arguments to replay a single case.
+    """
+
+    def decorate(prop: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(prop)
+        def wrapper(*args, **kwargs):
+            if args or kwargs:
+                return prop(*args, **kwargs)
+            return run_property(
+                prop, *gens, runs=runs, seed=seed, max_shrinks=max_shrinks
+            )
+
+        wrapper.hypothesis_free = True  # marker for introspection
+        return wrapper
+
+    return decorate

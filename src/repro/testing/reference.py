@@ -1,0 +1,291 @@
+"""Slow, obviously-correct reference kernels for differential testing.
+
+Every function here re-implements a hot-path kernel of the nn/survival
+stack as scalar Python loops over ``math`` primitives — no vectorization,
+no shared code with the production implementations in :mod:`repro.nn`,
+:mod:`repro.survival`, or :mod:`repro.detect`.  The differential tests in
+``tests/test_reference_kernels.py`` drive both versions over randomized
+shapes and seeds and require agreement within tight tolerances, so a
+future vectorization or numerical "optimization" of a production kernel
+that silently changes its math is caught immediately.
+
+Arrays come in and go out as ``numpy.ndarray`` (for convenient comparison)
+but every arithmetic step happens on Python floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "reference_sigmoid",
+    "reference_lstm_cell",
+    "reference_lstm_sequence",
+    "reference_dense",
+    "reference_adam_step",
+    "reference_sgd_step",
+    "reference_hazard_to_survival",
+    "reference_safe_survival_loss",
+    "reference_binary_cross_entropy",
+    "reference_cusum_scores",
+    "max_abs_diff",
+    "diff_summary",
+]
+
+_EPS = 1e-12  # mirrors repro.nn.losses._EPS
+
+
+def reference_sigmoid(value: float) -> float:
+    """Numerically stable scalar logistic function."""
+    if value >= 0:
+        return 1.0 / (1.0 + math.exp(-value))
+    e = math.exp(value)
+    return e / (1.0 + e)
+
+
+def reference_lstm_cell(
+    x_t: np.ndarray,
+    h_prev: np.ndarray,
+    c_prev: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One LSTM step for a single example, one scalar at a time.
+
+    Gate layout matches :class:`repro.nn.LSTM`: fused ``[i, f, g, o]``
+    columns in ``w_x`` (features, 4H), ``w_h`` (H, 4H), ``bias`` (4H,).
+    Returns ``(h_new, c_new)`` with shape ``(H,)``.
+    """
+    features = len(x_t)
+    hidden = len(h_prev)
+    gates = [0.0] * (4 * hidden)
+    for j in range(4 * hidden):
+        acc = float(bias[j])
+        for k in range(features):
+            acc += float(x_t[k]) * float(w_x[k, j])
+        for k in range(hidden):
+            acc += float(h_prev[k]) * float(w_h[k, j])
+        gates[j] = acc
+    h_new = np.zeros(hidden)
+    c_new = np.zeros(hidden)
+    for j in range(hidden):
+        i_g = reference_sigmoid(gates[j])
+        f_g = reference_sigmoid(gates[hidden + j])
+        g_g = math.tanh(gates[2 * hidden + j])
+        o_g = reference_sigmoid(gates[3 * hidden + j])
+        c_val = f_g * float(c_prev[j]) + i_g * g_g
+        c_new[j] = c_val
+        h_new[j] = o_g * math.tanh(c_val)
+    return h_new, c_new
+
+
+def reference_lstm_sequence(
+    x: np.ndarray,
+    w_x: np.ndarray,
+    w_h: np.ndarray,
+    bias: np.ndarray,
+    h0: np.ndarray | None = None,
+    c0: np.ndarray | None = None,
+) -> np.ndarray:
+    """Unroll :func:`reference_lstm_cell` over a ``(batch, time, features)``
+    input; returns the hidden sequence ``(batch, time, hidden)``."""
+    batch, steps, _features = x.shape
+    hidden = w_h.shape[0]
+    outputs = np.zeros((batch, steps, hidden))
+    for b in range(batch):
+        h = np.zeros(hidden) if h0 is None else np.array(h0[b], dtype=np.float64)
+        c = np.zeros(hidden) if c0 is None else np.array(c0[b], dtype=np.float64)
+        for t in range(steps):
+            h, c = reference_lstm_cell(x[b, t], h, c, w_x, w_h, bias)
+            outputs[b, t] = h
+    return outputs
+
+
+def _reference_activation(value: float, activation: str) -> float:
+    if activation in ("linear", None):
+        return value
+    if activation == "sigmoid":
+        return reference_sigmoid(value)
+    if activation == "tanh":
+        return math.tanh(value)
+    if activation == "relu":
+        return value if value > 0 else 0.0
+    if activation == "softplus":
+        # log(1 + e^v) computed stably: max(v, 0) + log1p(e^-|v|).
+        return max(value, 0.0) + math.log1p(math.exp(-abs(value)))
+    raise ValueError(f"unknown activation {activation!r}")
+
+
+def reference_dense(
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray,
+    activation: str = "linear",
+) -> np.ndarray:
+    """``act(x @ W + b)`` with explicit scalar loops; ``x`` is 2-D."""
+    rows, in_features = x.shape
+    out_features = weight.shape[1]
+    out = np.zeros((rows, out_features))
+    for r in range(rows):
+        for j in range(out_features):
+            acc = float(bias[j])
+            for k in range(in_features):
+                acc += float(x[r, k]) * float(weight[k, j])
+            out[r, j] = _reference_activation(acc, activation)
+    return out
+
+
+def reference_adam_step(
+    param: np.ndarray,
+    grad: np.ndarray,
+    m: np.ndarray,
+    v: np.ndarray,
+    step_count: int,
+    lr: float = 1e-4,
+    betas: tuple[float, float] = (0.9, 0.999),
+    eps: float = 1e-8,
+    weight_decay: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One Adam update on flat copies of ``param``/``m``/``v``.
+
+    ``step_count`` is the 1-based step being taken (the value after the
+    optimizer increments its counter).  Returns new ``(param, m, v)``.
+    """
+    b1, b2 = betas
+    bc1 = 1.0 - b1**step_count
+    bc2 = 1.0 - b2**step_count
+    p_new = np.array(param, dtype=np.float64)
+    m_new = np.array(m, dtype=np.float64)
+    v_new = np.array(v, dtype=np.float64)
+    flat_p = p_new.reshape(-1)
+    flat_g = np.asarray(grad, dtype=np.float64).reshape(-1)
+    flat_m = m_new.reshape(-1)
+    flat_v = v_new.reshape(-1)
+    for i in range(flat_p.size):
+        g = float(flat_g[i])
+        if weight_decay:
+            g += weight_decay * float(flat_p[i])
+        flat_m[i] = b1 * float(flat_m[i]) + (1.0 - b1) * g
+        flat_v[i] = b2 * float(flat_v[i]) + (1.0 - b2) * g * g
+        m_hat = float(flat_m[i]) / bc1
+        v_hat = float(flat_v[i]) / bc2
+        flat_p[i] = float(flat_p[i]) - lr * m_hat / (math.sqrt(v_hat) + eps)
+    return p_new, m_new, v_new
+
+
+def reference_sgd_step(
+    param: np.ndarray,
+    grad: np.ndarray,
+    velocity: np.ndarray,
+    lr: float = 0.01,
+    momentum: float = 0.0,
+    weight_decay: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One SGD(+momentum) update on flat copies; returns ``(param, velocity)``."""
+    p_new = np.array(param, dtype=np.float64)
+    v_new = np.array(velocity, dtype=np.float64)
+    flat_p = p_new.reshape(-1)
+    flat_g = np.asarray(grad, dtype=np.float64).reshape(-1)
+    flat_v = v_new.reshape(-1)
+    for i in range(flat_p.size):
+        g = float(flat_g[i])
+        if weight_decay:
+            g += weight_decay * float(flat_p[i])
+        if momentum:
+            flat_v[i] = momentum * float(flat_v[i]) + g
+            g = float(flat_v[i])
+        flat_p[i] = float(flat_p[i]) - lr * g
+    return p_new, v_new
+
+
+def reference_hazard_to_survival(hazards: np.ndarray) -> np.ndarray:
+    """``S_t = prod_{k<=t} exp(-h_k)`` along the last axis, scalar loops."""
+    hazards = np.asarray(hazards, dtype=np.float64)
+    flat = hazards.reshape(-1, hazards.shape[-1])
+    out = np.zeros_like(flat)
+    for r in range(flat.shape[0]):
+        running = 0.0
+        for t in range(flat.shape[1]):
+            running += float(flat[r, t])
+            out[r, t] = math.exp(-running)
+    return out.reshape(hazards.shape)
+
+
+def reference_safe_survival_loss(
+    hazards: np.ndarray,
+    is_attack: np.ndarray,
+    label_times: np.ndarray,
+) -> float:
+    """Scalar re-derivation of :func:`repro.nn.losses.safe_survival_loss`."""
+    hazards = np.asarray(hazards, dtype=np.float64)
+    batch, _steps = hazards.shape
+    total = 0.0
+    for i in range(batch):
+        cum = 0.0
+        for t in range(int(label_times[i]) + 1):
+            cum += float(hazards[i, t])
+        survival = math.exp(-cum)
+        event_prob = min(max(1.0 - survival, _EPS), 1.0)
+        censor_prob = min(max(survival, _EPS), 1.0)
+        c = float(is_attack[i])
+        total += -(c * math.log(event_prob) + (1.0 - c) * math.log(censor_prob))
+    return total / batch
+
+
+def reference_binary_cross_entropy(
+    probs: np.ndarray, targets: np.ndarray
+) -> float:
+    """Mean BCE with the same clipping as the production loss."""
+    probs = np.asarray(probs, dtype=np.float64).reshape(-1)
+    targets = np.asarray(targets, dtype=np.float64).reshape(-1)
+    total = 0.0
+    for p, t in zip(probs, targets):
+        p = min(max(float(p), _EPS), 1.0 - _EPS)
+        total += -(float(t) * math.log(p) + (1.0 - float(t)) * math.log(1.0 - p))
+    return total / probs.size
+
+
+def reference_cusum_scores(
+    series: np.ndarray, mu: float, sigma: float, numstd: float = 1.0
+) -> np.ndarray:
+    """Scalar CUSUM statistic, mirroring :func:`repro.detect.cusum_scores`."""
+    sigma = max(float(sigma), 1e-9)
+    out = np.zeros(len(series))
+    s = 0.0
+    for i, value in enumerate(series):
+        z = (float(value) - float(mu) - numstd * sigma) / sigma
+        s = max(0.0, s + z)
+        out[i] = s
+    return out
+
+
+# ----------------------------------------------------------------------
+# diff helpers shared by the differential tests and the golden checker
+# ----------------------------------------------------------------------
+def max_abs_diff(got: np.ndarray, want: np.ndarray) -> float:
+    got = np.asarray(got, dtype=np.float64)
+    want = np.asarray(want, dtype=np.float64)
+    if got.shape != want.shape:
+        return math.inf
+    if got.size == 0:
+        return 0.0
+    return float(np.max(np.abs(got - want)))
+
+
+def diff_summary(name: str, got: np.ndarray, want: np.ndarray) -> str:
+    """One human-readable line locating the worst element-wise mismatch."""
+    got = np.asarray(got, dtype=np.float64)
+    want = np.asarray(want, dtype=np.float64)
+    if got.shape != want.shape:
+        return f"{name}: shape mismatch {got.shape} vs {want.shape}"
+    if got.size == 0:
+        return f"{name}: empty, equal"
+    delta = np.abs(got - want)
+    idx = np.unravel_index(int(np.argmax(delta)), delta.shape)
+    return (
+        f"{name}: max |Δ| {delta[idx]:.3e} at {tuple(int(i) for i in idx)} "
+        f"(got {got[idx]:.6g}, want {want[idx]:.6g})"
+    )

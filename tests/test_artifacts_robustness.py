@@ -9,6 +9,8 @@ from repro.core import PipelineConfig, TrainConfig, XatuModelRegistry, XatuPipel
 from repro.synth import ScenarioConfig
 from tests.conftest import small_model_config
 
+pytestmark = pytest.mark.slow  # end-to-end pipeline runs; skip with -m "not slow"
+
 
 def quick_config(**overrides):
     base = PipelineConfig(

@@ -47,6 +47,58 @@ class TestBasics:
             assert out._parents == ()
         assert is_grad_enabled()
 
+    def test_no_grad_restores_flag_when_body_raises(self):
+        """Regression: an exception inside the block must not leave the
+        engine stuck in inference mode."""
+        with pytest.raises(RuntimeError, match="boom"):
+            with no_grad():
+                assert not is_grad_enabled()
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_no_grad_nested_restores_each_level(self):
+        with no_grad():
+            with pytest.raises(ValueError):
+                with no_grad():
+                    raise ValueError("inner")
+            assert not is_grad_enabled()  # outer block still active
+        assert is_grad_enabled()
+
+    def test_no_grad_as_bare_decorator(self):
+        @no_grad
+        def infer(x):
+            assert not is_grad_enabled()
+            return x * x
+
+        a = Tensor(2.0, requires_grad=True)
+        out = infer(a)
+        assert out._parents == () and not out.requires_grad
+        assert is_grad_enabled()
+        assert infer.__name__ == "infer"  # wrapping preserves identity
+
+    def test_no_grad_as_called_decorator(self):
+        @no_grad()
+        def infer(x):
+            assert not is_grad_enabled()
+            return x + 1.0
+
+        out = infer(Tensor(1.0, requires_grad=True))
+        assert out._parents == ()
+        assert is_grad_enabled()
+
+    def test_no_grad_decorated_function_raising_restores_flag(self):
+        @no_grad
+        def explode():
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            explode()
+        assert is_grad_enabled()
+
+    def test_no_grad_rejects_non_callable_argument(self):
+        with pytest.raises(TypeError, match="no arguments"):
+            no_grad(42)
+
     def test_grad_accumulates_across_backwards(self):
         a = Tensor(3.0, requires_grad=True)
         (a * a).backward()

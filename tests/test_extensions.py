@@ -46,6 +46,7 @@ class TestHeterogeneousSampling:
         assert all(s.rate == 5 for s in gen._samplers)
 
 
+@pytest.mark.slow
 class TestEvasionScenarios:
     def test_fresh_sources_defeat_a2_tagging(self):
         from repro.netflow import SOURCE_CLASS_PREV_ATTACKER

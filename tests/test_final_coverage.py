@@ -43,6 +43,7 @@ class TestWorldEdgeCases:
             seen |= members
 
 
+@pytest.mark.slow
 class TestCliCompare:
     def test_compare_command_prints_all_systems(self, capsys):
         from repro.cli import main

@@ -1,0 +1,139 @@
+"""Golden-trace fixture tests: round trip, diff detection, versioning.
+
+The committed fixture under ``tests/fixtures/golden/`` is the regression
+anchor: ``python -m repro.cli golden check`` must pass against it on every
+change to the nn/survival stack.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    GOLDEN_FORMAT_VERSION,
+    GoldenFormatError,
+    GoldenSpec,
+    check_golden,
+    compute_golden_arrays,
+    record_golden,
+)
+
+FIXTURE_DIR = Path(__file__).parent / "fixtures" / "golden"
+
+
+@pytest.fixture(scope="module")
+def golden_arrays():
+    """Compute the golden recipe once for the whole module."""
+    return compute_golden_arrays(GoldenSpec())
+
+
+class TestRecordCheckRoundTrip:
+    def test_record_then_check_passes(self, tmp_path, golden_arrays):
+        path = record_golden(tmp_path / "g")
+        assert (path / "manifest.json").exists()
+        assert (path / "arrays.npz").exists()
+        report = check_golden(path, arrays=golden_arrays)
+        assert report.ok, report.render()
+        assert "FAIL" not in report.render()
+
+    def test_recompute_is_deterministic(self, golden_arrays):
+        again = compute_golden_arrays(GoldenSpec())
+        assert set(again) == set(golden_arrays)
+        for name, value in golden_arrays.items():
+            assert again[name].tobytes() == value.tobytes(), name
+
+    def test_manifest_records_provenance(self, tmp_path):
+        path = record_golden(tmp_path / "g")
+        manifest = json.loads((path / "manifest.json").read_text())
+        assert manifest["format_version"] == GOLDEN_FORMAT_VERSION
+        assert manifest["spec"]["seed"] == GoldenSpec().seed
+        assert manifest["numpy_version"] == np.__version__
+        assert "train/loss_curve" in manifest["arrays"]
+        # Integer timelines are compared exactly, floats with tolerances.
+        assert manifest["arrays"]["alerts/detect_minutes"]["atol"] == 0.0
+        assert manifest["arrays"]["train/loss_curve"]["atol"] > 0.0
+
+
+class TestToleranceViolations:
+    def test_perturbed_array_fails_with_readable_diff(self, tmp_path, golden_arrays):
+        path = record_golden(tmp_path / "g")
+        perturbed = {k: v.copy() for k, v in golden_arrays.items()}
+        perturbed["state/lstms.0.w_x"][0, 0] += 1e-3
+        report = check_golden(path, arrays=perturbed)
+        assert not report.ok
+        bad = {entry.name for entry in report.failures}
+        assert bad == {"state/lstms.0.w_x"}
+        text = report.render()
+        assert "FAIL" in text and "state/lstms.0.w_x" in text
+        assert "max |Δ|" in report.failures[0].detail  # locates the element
+
+    def test_shape_change_reported(self, tmp_path, golden_arrays):
+        path = record_golden(tmp_path / "g")
+        mutated = dict(golden_arrays)
+        mutated["train/loss_curve"] = mutated["train/loss_curve"][:1]
+        report = check_golden(path, arrays=mutated)
+        (entry,) = report.failures
+        assert entry.name == "train/loss_curve"
+        assert "shape changed" in entry.detail
+
+    def test_missing_and_unexpected_arrays_reported(self, tmp_path, golden_arrays):
+        path = record_golden(tmp_path / "g")
+        mutated = dict(golden_arrays)
+        del mutated["inference/survival_curves"]
+        mutated["inference/brand_new"] = np.zeros(3)
+        report = check_golden(path, arrays=mutated)
+        by_name = {entry.name: entry.status for entry in report.failures}
+        assert by_name == {
+            "inference/survival_curves": "missing",
+            "inference/brand_new": "unexpected",
+        }
+
+
+class TestManifestVersioning:
+    def test_future_format_version_rejected(self, tmp_path, golden_arrays):
+        path = record_golden(tmp_path / "g")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["format_version"] = GOLDEN_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(GoldenFormatError, match="re-record"):
+            check_golden(path, arrays=golden_arrays)
+
+    def test_missing_fixture_has_actionable_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="golden record"):
+            check_golden(tmp_path / "nowhere")
+
+
+class TestCommittedFixture:
+    def test_committed_fixture_matches_current_code(self, golden_arrays):
+        """The acceptance gate: the in-repo fixture passes as-is."""
+        report = check_golden(FIXTURE_DIR, arrays=golden_arrays)
+        assert report.ok, report.render()
+
+    def test_cli_check_passes(self, capsys, golden_arrays, monkeypatch):
+        import repro.testing.golden as golden_mod
+        from repro.cli import main
+
+        # The CLI path recomputes; reuse the module fixture to keep it fast.
+        monkeypatch.setattr(
+            golden_mod, "compute_golden_arrays", lambda spec=None: golden_arrays
+        )
+        rc = main(["golden", "check", "--path", str(FIXTURE_DIR)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "arrays within tolerance" in out
+
+    def test_cli_record_roundtrip(self, tmp_path, capsys, golden_arrays, monkeypatch):
+        import repro.testing.golden as golden_mod
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            golden_mod, "compute_golden_arrays", lambda spec=None: golden_arrays
+        )
+        target = tmp_path / "fresh"
+        assert main(["golden", "record", "--path", str(target)]) == 0
+        assert main(["golden", "check", "--path", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "recorded golden fixture" in out

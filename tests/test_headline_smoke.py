@@ -11,6 +11,8 @@ from repro.core import PipelineConfig, TimescaleSpec, TrainConfig, XatuModelConf
 from repro.eval import HeadlineExperiment
 from repro.synth import ScenarioConfig
 
+pytestmark = pytest.mark.slow  # full multi-system sweep; skip with -m "not slow"
+
 
 @pytest.fixture(scope="module")
 def experiment():

@@ -83,6 +83,7 @@ class TestServingKeysAndThresholds:
             XatuDetector(trace, extractor, models, single_scaler)
 
 
+@pytest.mark.slow
 class TestPerTypePipelineThresholds:
     def test_registry_thresholds_set_after_run(self):
         from repro.core import PipelineConfig, TrainConfig, XatuPipeline

@@ -104,6 +104,7 @@ class TestPipelineRun:
         assert eval_hi == test_hi
 
 
+@pytest.mark.slow
 class TestFeatureAblationPipeline:
     def test_volumetric_only_pipeline_runs(self):
         """The no-aux ablation path must run end to end."""

@@ -1,0 +1,209 @@
+"""Differential tests: vectorized production kernels vs. scalar references.
+
+Every hot-path kernel in the nn/survival stack is checked against the
+independently-written, loop-only implementations in
+``repro.testing.reference`` over randomized shapes and seeds.  These are
+the tests that must fail if a future vectorization changes the math —
+see the perturbation-sensitivity test at the bottom, which proves a
+1e-3 weight nudge is far outside the agreement tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.detect.cusum import cusum_scores
+from repro.nn import (
+    LSTM,
+    Adam,
+    Dense,
+    SGD,
+    Tensor,
+    binary_cross_entropy,
+    hazard_to_survival,
+    safe_survival_loss,
+)
+from repro.survival.analysis import hazards_to_survival_np
+from repro.testing import (
+    reference_adam_step,
+    reference_binary_cross_entropy,
+    reference_cusum_scores,
+    reference_dense,
+    reference_hazard_to_survival,
+    reference_lstm_cell,
+    reference_lstm_sequence,
+    reference_safe_survival_loss,
+    reference_sgd_step,
+)
+
+ATOL = 1e-10
+
+
+class TestLstmDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_sequence_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 4))
+        steps = int(rng.integers(1, 7))
+        features = int(rng.integers(1, 6))
+        hidden = int(rng.integers(1, 6))
+        lstm = LSTM(features, hidden, rng=rng)
+        x = rng.normal(size=(batch, steps, features))
+        ours, (h_last, _c_last) = lstm(Tensor(x))
+        want = reference_lstm_sequence(
+            x, lstm.w_x.numpy(), lstm.w_h.numpy(), lstm.bias.numpy()
+        )
+        assert ours.numpy() == pytest.approx(want, abs=ATOL)
+        assert h_last.numpy() == pytest.approx(want[:, -1, :], abs=ATOL)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_cell_matches(self, seed):
+        """One step with a non-zero carried state, checked cell-by-cell."""
+        rng = np.random.default_rng(100 + seed)
+        features, hidden = int(rng.integers(1, 5)), int(rng.integers(1, 5))
+        lstm = LSTM(features, hidden, rng=rng)
+        x = rng.normal(size=(1, 1, features))
+        h0 = rng.normal(size=(1, hidden))
+        c0 = rng.normal(size=(1, hidden))
+        out, (h1, c1) = lstm(Tensor(x), state=(Tensor(h0), Tensor(c0)))
+        want_h, want_c = reference_lstm_cell(
+            x[0, 0], h0[0], c0[0],
+            lstm.w_x.numpy(), lstm.w_h.numpy(), lstm.bias.numpy(),
+        )
+        assert h1.numpy()[0] == pytest.approx(want_h, abs=ATOL)
+        assert c1.numpy()[0] == pytest.approx(want_c, abs=ATOL)
+        assert out.numpy()[0, 0] == pytest.approx(want_h, abs=ATOL)
+
+
+class TestDenseDifferential:
+    @pytest.mark.parametrize(
+        "activation", ["linear", "sigmoid", "tanh", "relu", "softplus"]
+    )
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_scalar_reference(self, activation, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 5))
+        fin, fout = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+        layer = Dense(fin, fout, activation=activation, rng=rng)
+        layer.bias.data[...] = rng.normal(size=fout)
+        x = rng.normal(size=(rows, fin))
+        got = layer(Tensor(x)).numpy()
+        want = reference_dense(
+            x, layer.weight.numpy(), layer.bias.numpy(), activation
+        )
+        assert got == pytest.approx(want, abs=ATOL)
+
+
+class TestOptimizerDifferential:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("weight_decay", [0.0, 0.01])
+    def test_adam_multi_step(self, seed, weight_decay):
+        """Three consecutive Adam updates agree element-for-element."""
+        rng = np.random.default_rng(seed)
+        shapes = [(3, 2), (4,), (2, 2, 2)]
+        params = [Tensor(rng.normal(size=s), requires_grad=True) for s in shapes]
+        opt = Adam(params, lr=1e-2, weight_decay=weight_decay)
+        ref_p = [p.data.copy() for p in params]
+        ref_m = [np.zeros_like(p.data) for p in params]
+        ref_v = [np.zeros_like(p.data) for p in params]
+        for step in range(1, 4):
+            grads = [rng.normal(size=s) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = g.copy()
+            opt.step()
+            for i, g in enumerate(grads):
+                ref_p[i], ref_m[i], ref_v[i] = reference_adam_step(
+                    ref_p[i], g, ref_m[i], ref_v[i], step,
+                    lr=1e-2, weight_decay=weight_decay,
+                )
+            for p, want in zip(params, ref_p):
+                assert p.data == pytest.approx(want, abs=ATOL)
+
+    @pytest.mark.parametrize("momentum", [0.0, 0.9])
+    def test_sgd_matches(self, momentum):
+        rng = np.random.default_rng(0)
+        p = Tensor(rng.normal(size=(5,)), requires_grad=True)
+        opt = SGD([p], lr=0.1, momentum=momentum, weight_decay=0.01)
+        want_p = p.data.copy()
+        want_v = np.zeros_like(want_p)
+        for _step in range(3):
+            g = rng.normal(size=5)
+            p.grad = g.copy()
+            opt.step()
+            want_p, want_v = reference_sgd_step(
+                want_p, g, want_v, lr=0.1, momentum=momentum, weight_decay=0.01
+            )
+            assert p.data == pytest.approx(want_p, abs=ATOL)
+
+
+class TestLossDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_safe_survival_loss_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        batch = int(rng.integers(1, 6))
+        steps = int(rng.integers(1, 12))
+        hazards = rng.uniform(0.0, 2.0, size=(batch, steps))
+        is_attack = rng.integers(0, 2, size=batch).astype(np.float64)
+        label_times = rng.integers(0, steps, size=batch)
+        got = safe_survival_loss(Tensor(hazards), is_attack, label_times).item()
+        want = reference_safe_survival_loss(hazards, is_attack, label_times)
+        assert got == pytest.approx(want, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bce_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.uniform(0.0, 1.0, size=(3, 7))
+        targets = rng.integers(0, 2, size=(3, 7)).astype(np.float64)
+        got = binary_cross_entropy(Tensor(probs), targets).item()
+        want = reference_binary_cross_entropy(probs, targets)
+        assert got == pytest.approx(want, abs=1e-12)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hazard_to_survival_matches(self, seed):
+        rng = np.random.default_rng(seed)
+        hazards = rng.uniform(0.0, 1.5, size=(2, 3, 9))
+        want = reference_hazard_to_survival(hazards)
+        assert hazard_to_survival(Tensor(hazards)).numpy() == pytest.approx(
+            want, abs=1e-12
+        )
+        assert hazards_to_survival_np(hazards) == pytest.approx(want, abs=1e-12)
+
+
+class TestCusumDifferential:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_scores_match(self, seed):
+        rng = np.random.default_rng(seed)
+        series = rng.uniform(0, 100, size=int(rng.integers(1, 200)))
+        mu = float(rng.uniform(0, 50))
+        sigma = float(rng.uniform(0.0, 10))  # includes sigma→0 clamping path
+        numstd = float(rng.choice([0.5, 1.0]))
+        got = cusum_scores(series, mu, sigma, numstd)
+        want = reference_cusum_scores(series, mu, sigma, numstd)
+        assert got == pytest.approx(want, abs=1e-9)
+
+
+class TestPerturbationSensitivity:
+    """The acceptance gate: a 1e-3 weight nudge must break agreement."""
+
+    def test_lstm_weight_perturbation_detected(self):
+        rng = np.random.default_rng(42)
+        lstm = LSTM(4, 6, rng=rng)
+        x = rng.normal(size=(2, 8, 4))
+        want = reference_lstm_sequence(
+            x, lstm.w_x.numpy(), lstm.w_h.numpy(), lstm.bias.numpy()
+        )
+        lstm.w_x.data[0, 0] += 1e-3  # the silent-regression stand-in
+        perturbed = lstm(Tensor(x))[0].numpy()
+        assert not np.allclose(perturbed, want, atol=1e-8, rtol=1e-7), (
+            "differential harness failed to detect a 1e-3 LSTM weight change"
+        )
+
+    def test_adam_eps_perturbation_detected(self):
+        p = Tensor(np.ones(4), requires_grad=True)
+        opt = Adam([p], lr=1e-2, eps=1e-4)  # wrong eps = changed math
+        p.grad = np.full(4, 0.5)
+        opt.step()
+        want, _m, _v = reference_adam_step(
+            np.ones(4), np.full(4, 0.5),
+            np.zeros(4), np.zeros(4), 1, lr=1e-2,
+        )
+        assert not np.allclose(p.data, want, atol=1e-8, rtol=0.0)

@@ -88,6 +88,7 @@ class TestRegistry:
             registry.save("/tmp/should_not_exist")
 
 
+@pytest.mark.slow
 class TestCli:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):

@@ -96,6 +96,7 @@ class TestCoverage:
         assert report.coverage_of(POPULAR_PORTS) > 0.5
 
 
+@pytest.mark.slow
 class TestPerTypePipeline:
     @pytest.fixture(scope="class")
     def per_type_result(self):
