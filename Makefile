@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test fast golden-check golden-record
+.PHONY: verify test fast golden-check golden-record bench bench-full
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,5 +16,14 @@ golden-check:
 
 golden-record:
 	$(PY) -m repro.cli golden record
+
+# Smoke-mode microbenchmarks: exercises every case + the JSON round-trip
+# in seconds without touching the committed results (docs/PERFORMANCE.md).
+bench:
+	$(PY) -m repro.cli bench --smoke --out /tmp/repro-bench
+
+# Full-size run that refreshes the committed baseline.
+bench-full:
+	$(PY) -m repro.cli bench --tag fused
 
 verify: test golden-check

@@ -1,0 +1,30 @@
+"""Tracked microbenchmarks for the nn fast path (``python -m repro.cli bench``).
+
+The harness times every case in a fused and an unfused (pre-fusion
+baseline) variant and writes versioned ``BENCH_<tag>.json`` files so the
+repo's performance trajectory is reviewable PR over PR.  See
+docs/PERFORMANCE.md for methodology and baseline numbers.
+"""
+
+from .harness import (
+    BENCH_FORMAT_VERSION,
+    DEFAULT_BENCH_DIR,
+    BenchReport,
+    BenchTiming,
+    load_bench_json,
+    time_callable,
+    write_bench_json,
+)
+from .micro import BENCH_CASES, run_all
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "DEFAULT_BENCH_DIR",
+    "BenchReport",
+    "BenchTiming",
+    "BENCH_CASES",
+    "run_all",
+    "time_callable",
+    "write_bench_json",
+    "load_bench_json",
+]

@@ -1,0 +1,170 @@
+"""Timing harness and versioned result files for the microbenchmarks.
+
+A benchmark run produces a :class:`BenchReport`: per-case wall-clock
+timings (every case is measured in a *fused* and an *unfused* variant, so
+the pre-fusion baseline is always captured alongside) plus derived
+speedups.  Reports serialize to ``BENCH_<tag>.json`` with a format version
+and platform provenance; committing one per perf-relevant PR gives the
+repo a tracked performance trajectory (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+__all__ = [
+    "BENCH_FORMAT_VERSION",
+    "DEFAULT_BENCH_DIR",
+    "BenchTiming",
+    "BenchReport",
+    "time_callable",
+    "write_bench_json",
+    "load_bench_json",
+]
+
+BENCH_FORMAT_VERSION = 1
+DEFAULT_BENCH_DIR = Path("benchmarks/results")
+
+
+def time_callable(
+    fn: Callable[[], object], reps: int, warmup: int = 1
+) -> list[float]:
+    """Wall-clock one callable: ``warmup`` throwaway runs, then ``reps``
+    timed runs (``time.perf_counter``).  Returns the per-run seconds."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times: list[float] = []
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+@dataclass(frozen=True)
+class BenchTiming:
+    """Timing summary for one (case, variant) pair."""
+
+    name: str
+    variant: str  # "fused" | "unfused"
+    seconds: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return min(self.seconds)
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.seconds))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.seconds))
+
+    @property
+    def reps(self) -> int:
+        return len(self.seconds)
+
+    def to_json(self) -> dict:
+        return {
+            "best_s": self.best,
+            "median_s": self.median,
+            "mean_s": self.mean,
+            "reps": self.reps,
+            "seconds": list(self.seconds),
+        }
+
+
+@dataclass
+class BenchReport:
+    """All timings from one benchmark invocation."""
+
+    tag: str
+    smoke: bool = False
+    timings: list[BenchTiming] = field(default_factory=list)
+    sizes: dict[str, dict] = field(default_factory=dict)
+
+    def add(self, timing: BenchTiming) -> None:
+        self.timings.append(timing)
+
+    def timing(self, name: str, variant: str) -> BenchTiming | None:
+        for t in self.timings:
+            if t.name == name and t.variant == variant:
+                return t
+        return None
+
+    def speedups(self) -> dict[str, float]:
+        """``unfused_best / fused_best`` per case that has both variants."""
+        out: dict[str, float] = {}
+        for name in sorted({t.name for t in self.timings}):
+            fused = self.timing(name, "fused")
+            unfused = self.timing(name, "unfused")
+            if fused and unfused and fused.best > 0:
+                out[name] = unfused.best / fused.best
+        return out
+
+    def render(self) -> str:
+        """Human-readable table: case, fused, pre-fusion baseline, speedup."""
+        speedups = self.speedups()
+        rows = []
+        for name in sorted({t.name for t in self.timings}):
+            fused = self.timing(name, "fused")
+            unfused = self.timing(name, "unfused")
+            rows.append(
+                (
+                    name,
+                    f"{fused.best * 1e3:9.2f}" if fused else "      n/a",
+                    f"{unfused.best * 1e3:9.2f}" if unfused else "      n/a",
+                    f"{speedups[name]:6.1f}x" if name in speedups else "    n/a",
+                )
+            )
+        header = f"{'benchmark':<24} {'fused ms':>9} {'unfused ms':>10} {'speedup':>7}"
+        lines = [header, "-" * len(header)]
+        for name, fused_ms, unfused_ms, speedup in rows:
+            lines.append(f"{name:<24} {fused_ms:>9} {unfused_ms:>10} {speedup:>7}")
+        return "\n".join(lines)
+
+
+def write_bench_json(report: BenchReport, path: str | Path) -> Path:
+    """Serialize a report to ``<path>/BENCH_<tag>.json`` (versioned)."""
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    out = path / f"BENCH_{report.tag}.json"
+    payload = {
+        "format_version": BENCH_FORMAT_VERSION,
+        "tag": report.tag,
+        "smoke": report.smoke,
+        "platform": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "sizes": report.sizes,
+        "benchmarks": {
+            f"{t.name}/{t.variant}": t.to_json() for t in report.timings
+        },
+        "speedups": report.speedups(),
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def load_bench_json(path: str | Path) -> dict:
+    """Load and version-check a ``BENCH_<tag>.json`` file."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != BENCH_FORMAT_VERSION:
+        raise ValueError(
+            f"bench file {path} has format_version {version!r}; this code "
+            f"understands {BENCH_FORMAT_VERSION}"
+        )
+    return payload

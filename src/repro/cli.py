@@ -8,6 +8,8 @@ Commands
 ``compare``  — four-system comparison (NetScout / FastNetMon / RF / Xatu)
                at one overhead bound.
 ``train``    — train a per-attack-type model registry and save it to disk.
+``bench``    — fused-vs-unfused nn microbenchmarks, tracked via
+               ``BENCH_<tag>.json`` (docs/PERFORMANCE.md).
 
 Every command accepts ``--seed``, ``--days``, ``--customers``, and
 ``--epochs`` to size the run; defaults finish in well under a minute.
@@ -183,6 +185,31 @@ def cmd_golden(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args) -> int:
+    """Run the fused-vs-unfused microbenchmarks and write BENCH_<tag>.json."""
+    from .bench import BENCH_CASES, run_all, write_bench_json
+
+    cases = None
+    if args.only:
+        unknown = [c for c in args.only if c not in BENCH_CASES]
+        if unknown:
+            print(f"unknown benchmark case(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(BENCH_CASES)}")
+            return 2
+        cases = tuple(args.only)
+    report = run_all(
+        tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
+    )
+    print(report.render())
+    out = write_bench_json(report, args.out)
+    print(f"\nwrote {out}")
+    speedups = report.speedups()
+    if speedups:
+        worst = min(speedups, key=speedups.get)
+        print(f"smallest speedup: {worst} at {speedups[worst]:.1f}x")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .eval import build_report
 
@@ -244,6 +271,27 @@ def build_parser() -> argparse.ArgumentParser:
     golden.add_argument("--epochs", type=int, default=2,
                         help="training epochs in the recipe (record only)")
     golden.set_defaults(func=cmd_golden)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the fused nn kernels against the pre-fusion baseline",
+        description="Microbenchmarks: LSTM forward / training step, pooling, "
+        "a full training epoch, and end-to-end synthetic-day scoring, each "
+        "fused and unfused.  Results go to a versioned BENCH_<tag>.json "
+        "(see docs/PERFORMANCE.md).",
+    )
+    bench.add_argument("--tag", default="fused",
+                       help="result file suffix: BENCH_<tag>.json")
+    bench.add_argument("--reps", type=int, default=None,
+                       help="timed repetitions per case (default 5, smoke 1)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="tiny sizes + 1 rep: correctness-of-the-harness "
+                       "mode for CI")
+    bench.add_argument("--out", default="benchmarks/results",
+                       help="directory for the result JSON")
+    bench.add_argument("--only", nargs="*", default=None,
+                       help="subset of cases to run")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

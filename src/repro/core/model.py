@@ -119,10 +119,19 @@ class XatuModel(Module):
         # untrained model's survival stays near 1 instead of alerting on
         # everything (softplus(0) ~ 0.69/min would drive S_30 to ~1e-9).
         self.combine.bias.data[...] = -4.0
+        self._indices_cache: dict[int, list[np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     def _scale_indices(self, total_minutes: int) -> list[np.ndarray]:
-        """Pooled-step index for each detection-window minute, per scale."""
+        """Pooled-step index for each detection-window minute, per scale.
+
+        Pure function of ``total_minutes`` and the (frozen) timescale specs,
+        so results are memoized — the detector's sliding-window loop calls
+        this once per scored block.
+        """
+        cached = self._indices_cache.get(total_minutes)
+        if cached is not None:
+            return cached
         cfg = self.config
         out = []
         detect_minutes = np.arange(
@@ -133,6 +142,7 @@ class XatuModel(Module):
             idx = (detect_minutes - scale_start) // ts.window
             idx = np.clip(idx, 0, ts.span - 1)
             out.append(idx.astype(np.int64))
+        self._indices_cache[total_minutes] = out
         return out
 
     def forward(self, x: Tensor) -> Tensor:
@@ -163,13 +173,30 @@ class XatuModel(Module):
         return hazards.reshape(batch, cfg.detect_window)
 
     # ------------------------------------------------------------------
-    def hazards_np(self, x: np.ndarray) -> np.ndarray:
-        """Inference: hazards as a plain array (no autograd tape)."""
-        from ..nn import no_grad
+    def hazards_np(self, x: np.ndarray, dtype=None) -> np.ndarray:
+        """Inference: hazards as a plain array (no autograd tape).
 
-        with no_grad():
-            return self.forward(Tensor(x)).numpy()
+        Runs the graph-free fast lane: the module tree is flipped to eval
+        mode for the call, no closures are allocated, and ``dtype`` (e.g.
+        ``np.float32``) optionally activates the reduced-precision policy
+        for the fused kernels.  Default float64 output is byte-identical to
+        the training-mode forward.
+        """
+        from ..nn import inference_dtype, no_grad
 
-    def survival_np(self, x: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                if dtype is not None:
+                    with inference_dtype(dtype):
+                        return self.forward(Tensor(x)).numpy()
+                return self.forward(Tensor(x)).numpy()
+        finally:
+            if was_training:
+                self.train(True)
+
+    def survival_np(self, x: np.ndarray, dtype=None) -> np.ndarray:
         """Inference: the survival curve ``S_t`` over the detection window."""
-        return hazards_to_survival_np(self.hazards_np(x))
+        return hazards_to_survival_np(self.hazards_np(x, dtype=dtype))

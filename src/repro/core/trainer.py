@@ -71,8 +71,13 @@ class XatuTrainer:
         from ..nn import no_grad
 
         x, c, t = samples.arrays()
-        with no_grad():
-            return self._loss(x, c, t).item()
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                return self._loss(x, c, t).item()
+        finally:
+            self.model.train(was_training)
 
     def fit(
         self,
@@ -82,6 +87,7 @@ class XatuTrainer:
         """Run the optimization; returns the loss trajectory."""
         cfg = self.config
         result = TrainResult()
+        self.model.train()
         x_all, c_all, t_all = train.arrays()
         n = len(train)
         best_val = np.inf

@@ -4,8 +4,25 @@ Replaces PyTorch for this reproduction: reverse-mode autograd, LSTM/dense
 layers, Adam, and the SAFE survival loss used to train Xatu.
 """
 
-from .autograd import Tensor, gradcheck, no_grad
-from .layers import LSTM, AvgPool1D, Dense, Dropout, MaxPool1D, Module, Sequential
+from .autograd import (
+    Tensor,
+    gradcheck,
+    inference_dtype,
+    is_grad_enabled,
+    no_grad,
+    resolve_inference_dtype,
+)
+from .fused import avg_pool_1d, lstm_sequence, max_pool_1d
+from .layers import (
+    LSTM,
+    AvgPool1D,
+    Dense,
+    Dropout,
+    MaxPool1D,
+    Module,
+    Sequential,
+    set_fused,
+)
 from .losses import binary_cross_entropy, hazard_to_survival, safe_survival_loss
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .serialization import load_module_into, load_state, save_module
@@ -13,7 +30,14 @@ from .serialization import load_module_into, load_state, save_module
 __all__ = [
     "Tensor",
     "no_grad",
+    "is_grad_enabled",
+    "inference_dtype",
+    "resolve_inference_dtype",
     "gradcheck",
+    "lstm_sequence",
+    "avg_pool_1d",
+    "max_pool_1d",
+    "set_fused",
     "Module",
     "Dense",
     "LSTM",

@@ -18,9 +18,16 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "inference_dtype",
+    "resolve_inference_dtype",
+]
 
 _GRAD_ENABLED = True
+_INFERENCE_DTYPE: np.dtype | None = None
 
 
 class no_grad:
@@ -81,6 +88,43 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
+class inference_dtype:
+    """Run no-grad inference in a reduced-precision dtype (e.g. float32).
+
+    While the context is active *and* gradients are disabled, new tensors
+    and the fused kernels compute in ``dtype`` instead of float64.  Under
+    grad mode the policy is ignored entirely, so training and gradcheck
+    always stay float64::
+
+        with no_grad(), inference_dtype(np.float32):
+            hazards = model(Tensor(x))
+    """
+
+    def __init__(self, dtype) -> None:
+        dtype = np.dtype(dtype)
+        if dtype.kind != "f":
+            raise TypeError(f"inference dtype must be a float dtype, got {dtype}")
+        self.dtype = dtype
+
+    def __enter__(self) -> "inference_dtype":
+        global _INFERENCE_DTYPE
+        self._prev = _INFERENCE_DTYPE
+        _INFERENCE_DTYPE = self.dtype
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        global _INFERENCE_DTYPE
+        _INFERENCE_DTYPE = getattr(self, "_prev", None)
+        return False
+
+
+def resolve_inference_dtype() -> np.dtype | None:
+    """The active reduced-precision dtype, or None outside no-grad inference."""
+    if _GRAD_ENABLED:
+        return None
+    return _INFERENCE_DTYPE
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` by summing broadcast dimensions."""
     if grad.shape == shape:
@@ -119,7 +163,8 @@ class Tensor:
         _backward: Callable[[np.ndarray], None] | None = None,
         name: str = "",
     ) -> None:
-        self.data = np.asarray(data, dtype=np.float64)
+        dtype = resolve_inference_dtype()
+        self.data = np.asarray(data, dtype=np.float64 if dtype is None else dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = requires_grad and _GRAD_ENABLED
         self._parents = _parents if _GRAD_ENABLED else ()
@@ -354,7 +399,20 @@ class Tensor:
             if a.ndim == 1 and b.ndim == 1:
                 return (g * b, g * a)
             if b.ndim == 1:
-                return (np.outer(g, b) if a.ndim == 2 else g[..., None] * b, a.T @ g if a.ndim == 2 else None)
+                # (..., n, k) @ (k,) -> (..., n): the vector's gradient sums
+                # the outer products over every leading/batch dimension.
+                ga = np.outer(g, b) if a.ndim == 2 else g[..., None] * b
+                gb = (
+                    a.T @ g
+                    if a.ndim == 2
+                    else (a * g[..., None]).reshape(-1, a.shape[-1]).sum(axis=0)
+                )
+                return (ga, gb)
+            if a.ndim == 1:
+                # (k,) @ (..., k, m) -> (..., m)
+                ga = (b * g[..., None, :]).reshape(-1, b.shape[-2], b.shape[-1]).sum(axis=(0, 2)) if b.ndim > 2 else b @ g
+                gb = a[:, None] * g[..., None, :]
+                return (ga, gb)
             ga = g @ np.swapaxes(b, -1, -2)
             gb = np.swapaxes(a, -1, -2) @ g
             return (ga, gb)

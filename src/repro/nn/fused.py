@@ -1,0 +1,317 @@
+"""Fused fast-path kernels for the hot layers of the Xatu model.
+
+The generic tape in :mod:`repro.nn.autograd` records ~15 nodes (each with a
+Python closure) for every LSTM timestep and one slice/stack node per pooling
+window.  At the paper's scales (LSTM_long unrolls 240 steps) the tape
+bookkeeping dominates the actual numpy arithmetic.  The kernels here collapse
+those graphs:
+
+* :func:`lstm_sequence` — the whole unrolled LSTM is **one tape node**.  The
+  forward runs a plain numpy loop caching the gate activations; the backward
+  is hand-derived backpropagation-through-time over that cache.
+* :func:`avg_pool_1d` / :func:`max_pool_1d` — non-overlapping temporal
+  pooling as a single reshape-based node (a ragged trailing window is pooled
+  separately), instead of one slice + reduce + stack chain per window.
+
+Every kernel mirrors the generic implementation's operation order so the
+results agree with the unfused path (and the scalar kernels in
+:mod:`repro.testing.reference`) to float64 round-off; the differential tests
+in ``tests/test_fused_kernels.py`` enforce this.
+
+When gradients are disabled the kernels skip the cache and the tape node
+entirely (the graph-free inference lane), and honour the reduced-precision
+policy installed via :class:`repro.nn.autograd.inference_dtype`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor, is_grad_enabled, resolve_inference_dtype
+
+__all__ = ["lstm_sequence", "avg_pool_1d", "max_pool_1d"]
+
+
+def _sigmoid(a: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic, element-for-element identical to
+    ``Tensor.sigmoid`` but with a single exp over the whole array instead
+    of the masked two-branch form (same IEEE results, fewer ufunc calls)."""
+    e = np.exp(-np.abs(a))
+    return np.where(a >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
+
+
+def _maybe_cast(*arrays: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Apply the no-grad reduced-precision policy, if one is active."""
+    dtype = resolve_inference_dtype()
+    if dtype is None:
+        return arrays
+    return tuple(np.asarray(a, dtype=dtype) for a in arrays)
+
+
+# ----------------------------------------------------------------------
+# fused LSTM
+# ----------------------------------------------------------------------
+def _lstm_infer(
+    X: np.ndarray,
+    Wx: np.ndarray,
+    Wh: np.ndarray,
+    x_proj: np.ndarray,
+    h0: np.ndarray,
+    c0: np.ndarray,
+    hidden: int,
+) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+    """Graph-free inference lane: no cache, no tape, in-place scratch.
+
+    Every elementwise expression matches the grad-mode loop IEEE-exactly
+    (the sigmoid is applied to all four gate blocks at once — the candidate
+    block's wasted lanes are discarded — and scratch buffers only change
+    where results land, not their values), so inference output is
+    byte-identical to the training-mode forward.
+    """
+    batch, steps, _ = X.shape
+    outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
+    h = np.array(h0)
+    c = np.array(c0)
+    gates = np.empty((batch, 4 * hidden), dtype=X.dtype)
+    e = np.empty_like(gates)
+    g = np.empty((batch, hidden), dtype=X.dtype)
+    tmp = np.empty((batch, hidden), dtype=X.dtype)
+    for t in range(steps):
+        np.matmul(h, Wh, out=gates)
+        gates += x_proj[:, t]
+        np.tanh(gates[:, 2 * hidden : 3 * hidden], out=g)
+        # Stable sigmoid over the whole gate slab: e = exp(-|a|), then
+        # where(a >= 0, 1, e) / (1 + e) — elementwise identical to _sigmoid.
+        np.abs(gates, out=e)
+        np.negative(e, out=e)
+        np.exp(e, out=e)
+        num = np.where(gates >= 0, 1.0, e)
+        e += 1.0
+        np.divide(num, e, out=num)
+        i = num[:, :hidden]
+        f = num[:, hidden : 2 * hidden]
+        o = num[:, 3 * hidden :]
+        np.multiply(f, c, out=c)
+        np.multiply(i, g, out=tmp)
+        c += tmp
+        h = outputs[:, t]
+        np.tanh(c, out=tmp)
+        np.multiply(o, tmp, out=h)
+    return Tensor(outputs), (Tensor(h), Tensor(c))
+
+
+def lstm_sequence(
+    x: Tensor,
+    w_x: Tensor,
+    w_h: Tensor,
+    bias: Tensor,
+    state: tuple[Tensor, Tensor] | None = None,
+) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+    """Fused LSTM over ``(batch, time, features)`` input.
+
+    Semantics match :meth:`repro.nn.LSTM.forward_unfused` exactly (fused
+    ``[i, f, g, o]`` gate layout): returns ``(outputs, (h_T, c_T))`` where
+    ``outputs`` is ``(batch, time, hidden)``.  The entire sequence is one
+    autograd node; ``c_T`` is a sibling node over the same cached
+    activations so gradients may flow through a threaded state.
+    """
+    X, Wx, Wh, b = _maybe_cast(x.data, w_x.data, w_h.data, bias.data)
+    batch, steps, _features = X.shape
+    hidden = Wh.shape[0]
+    if state is None:
+        h0 = np.zeros((batch, hidden), dtype=X.dtype)
+        c0 = np.zeros((batch, hidden), dtype=X.dtype)
+    else:
+        h0, c0 = _maybe_cast(state[0].data, state[1].data)
+
+    parents: list[Tensor] = [x, w_x, w_h, bias]
+    if state is not None:
+        parents.extend(state)
+    grad_mode = is_grad_enabled() and any(
+        p.requires_grad or p._parents for p in parents
+    )
+
+    # One batched input projection for all timesteps (same op order as the
+    # unfused path: matmul, broadcast bias add, reshape).
+    x_proj = (X.reshape(batch * steps, -1) @ Wx + b).reshape(batch, steps, 4 * hidden)
+
+    if not grad_mode:
+        return _lstm_infer(X, Wx, Wh, x_proj, h0, c0, hidden)
+
+    outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
+    # Activation cache for the hand-derived backward, time-major so each
+    # step's slab is contiguous: sigmoided [i, f] and [o] gates, tanh'd
+    # candidate [g], cell state and its tanh.
+    if_all = np.empty((steps, batch, 2 * hidden), dtype=X.dtype)
+    g_all = np.empty((steps, batch, hidden), dtype=X.dtype)
+    o_all = np.empty((steps, batch, hidden), dtype=X.dtype)
+    c_all = np.empty((steps, batch, hidden), dtype=X.dtype)
+    tc_all = np.empty((steps, batch, hidden), dtype=X.dtype)
+
+    h, c = h0, c0
+    gates = np.empty((batch, 4 * hidden), dtype=X.dtype)
+    for t in range(steps):
+        np.matmul(h, Wh, out=gates)
+        gates += x_proj[:, t]
+        # [i|f] share one fused sigmoid call (same element math as two).
+        i_f = _sigmoid(gates[:, : 2 * hidden])
+        i = i_f[:, :hidden]
+        f = i_f[:, hidden:]
+        g = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+        o = _sigmoid(gates[:, 3 * hidden :])
+        c_new = f * c + i * g
+        tc = np.tanh(c_new)
+        h = o * tc
+        outputs[:, t] = h
+        if_all[t] = i_f
+        g_all[t] = g
+        o_all[t] = o
+        c_all[t] = c_new
+        tc_all[t] = tc
+        c = c_new
+
+    def bptt(
+        d_out: np.ndarray | None,
+        d_cT: np.ndarray | None,
+    ) -> tuple[tuple[Tensor, np.ndarray], ...]:
+        """Hand-derived BPTT over the cached gate activations.
+
+        ``d_out`` is the incoming gradient on the full hidden sequence (or
+        None), ``d_cT`` the gradient on the final cell state (or None).
+        Mirrors the generic tape's accumulation order so both paths agree
+        to round-off.
+        """
+        d_xproj = np.empty_like(x_proj)
+        d_wh = np.zeros_like(Wh)
+        dh_carry = np.zeros((batch, hidden), dtype=X.dtype)
+        dc_carry = (
+            np.array(d_cT, dtype=X.dtype)
+            if d_cT is not None
+            else np.zeros((batch, hidden), dtype=X.dtype)
+        )
+        for t in range(steps - 1, -1, -1):
+            dh = d_out[:, t] + dh_carry if d_out is not None else dh_carry
+            o = o_all[t]
+            tc = tc_all[t]
+            dtc = dh * o
+            dc = dc_carry + dtc * (1.0 - tc * tc)
+            i_f = if_all[t]
+            i = i_f[:, :hidden]
+            f = i_f[:, hidden:]
+            g = g_all[t]
+            c_prev = c_all[t - 1] if t > 0 else c0
+            h_prev = outputs[:, t - 1] if t > 0 else h0
+            # d(pre-activation gates), fused [i, f, g, o] layout.
+            d_gates = np.empty((batch, 4 * hidden), dtype=X.dtype)
+            d_gates[:, :hidden] = (dc * g) * i * (1.0 - i)
+            d_gates[:, hidden : 2 * hidden] = (dc * c_prev) * f * (1.0 - f)
+            d_gates[:, 2 * hidden : 3 * hidden] = (dc * i) * (1.0 - g * g)
+            d_gates[:, 3 * hidden :] = (dh * tc) * o * (1.0 - o)
+            d_xproj[:, t] = d_gates
+            d_wh += h_prev.T @ d_gates
+            dh_carry = d_gates @ Wh.T
+            dc_carry = dc * f
+        flat = d_xproj.reshape(batch * steps, 4 * hidden)
+        d_bias = flat.sum(axis=0)
+        d_wx = X.reshape(batch * steps, -1).T @ flat
+        d_x = (flat @ Wx.T).reshape(X.shape)
+        pairs = [(x, d_x), (w_x, d_wx), (w_h, d_wh), (bias, d_bias)]
+        if state is not None:
+            pairs.append((state[0], dh_carry))
+            pairs.append((state[1], dc_carry))
+        return tuple(pairs)
+
+    out_t = Tensor(
+        outputs,
+        _parents=tuple(parents),
+        _backward=lambda grad: bptt(grad, None),
+    )
+    c_t = Tensor(
+        c,
+        _parents=tuple(parents),
+        _backward=lambda grad: bptt(None, grad),
+    )
+    # h_T as a slice keeps its gradient flowing through the sequence node.
+    h_t = out_t[:, steps - 1, :]
+    return out_t, (h_t, c_t)
+
+
+# ----------------------------------------------------------------------
+# fused pooling
+# ----------------------------------------------------------------------
+def _pool_split(X: np.ndarray, window: int):
+    """Split ``(batch, time, feat)`` into full windows and a ragged tail."""
+    batch, steps, feat = X.shape
+    nfull, rem = divmod(steps, window)
+    full = X[:, : nfull * window].reshape(batch, nfull, window, feat)
+    tail = X[:, nfull * window :] if rem else None
+    return full, tail, nfull, rem
+
+
+def avg_pool_1d(x: Tensor, window: int) -> Tensor:
+    """Non-overlapping temporal average pooling as one tape node.
+
+    Equivalent to :meth:`repro.nn.AvgPool1D.forward_unfused`: a trailing
+    partial window is averaged over its own (shorter) length.
+    """
+    (X,) = _maybe_cast(x.data)
+    full, tail, nfull, rem = _pool_split(X, window)
+    pieces = []
+    if nfull:
+        pieces.append(full.sum(axis=2) * (1.0 / window))
+    if rem:
+        pieces.append(tail.sum(axis=1, keepdims=True) * (1.0 / rem))
+    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor(out)
+
+    def back(grad: np.ndarray):
+        d_x = np.empty_like(X)
+        if nfull:
+            d_full = (grad[:, :nfull] * (1.0 / window))[:, :, None, :]
+            d_x[:, : nfull * window] = np.broadcast_to(d_full, full.shape).reshape(
+                X.shape[0], nfull * window, X.shape[2]
+            )
+        if rem:
+            d_tail = grad[:, nfull:] * (1.0 / rem)
+            d_x[:, nfull * window :] = np.broadcast_to(d_tail, tail.shape)
+        return ((x, d_x),)
+
+    return Tensor(out, _parents=(x,), _backward=back)
+
+
+def max_pool_1d(x: Tensor, window: int) -> Tensor:
+    """Non-overlapping temporal max pooling as one tape node.
+
+    Backward splits the gradient evenly among tied maxima within a window,
+    matching the generic ``Tensor.max`` semantics.
+    """
+    (X,) = _maybe_cast(x.data)
+    full, tail, nfull, rem = _pool_split(X, window)
+    pieces = []
+    if nfull:
+        pieces.append(full.max(axis=2))
+    if rem:
+        pieces.append(tail.max(axis=1, keepdims=True))
+    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+
+    if not (is_grad_enabled() and (x.requires_grad or x._parents)):
+        return Tensor(out)
+
+    def back(grad: np.ndarray):
+        d_x = np.empty_like(X)
+        if nfull:
+            mask = (full == out[:, :nfull, None, :]).astype(X.dtype)
+            mask /= mask.sum(axis=2, keepdims=True)
+            d_full = grad[:, :nfull, None, :] * mask
+            d_x[:, : nfull * window] = d_full.reshape(
+                X.shape[0], nfull * window, X.shape[2]
+            )
+        if rem:
+            tmask = (tail == out[:, nfull:]).astype(X.dtype)
+            tmask /= tmask.sum(axis=1, keepdims=True)
+            d_x[:, nfull * window :] = grad[:, nfull:] * tmask
+        return ((x, d_x),)
+
+    return Tensor(out, _parents=(x,), _backward=back)

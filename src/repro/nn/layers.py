@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from .autograd import Tensor
+from .fused import avg_pool_1d, lstm_sequence, max_pool_1d
 
 __all__ = [
     "Module",
@@ -30,11 +31,40 @@ __all__ = [
     "MaxPool1D",
     "Sequential",
     "Dropout",
+    "set_fused",
 ]
 
 
 class Module:
-    """Base class for layers: parameter registry plus (de)serialization."""
+    """Base class for layers: parameter registry plus (de)serialization.
+
+    Modules carry a ``training`` flag toggled recursively by
+    :meth:`train` / :meth:`eval` (layers like :class:`Dropout` change
+    behaviour based on it).
+    """
+
+    training: bool = True
+
+    def modules(self) -> Iterable["Module"]:
+        """Yield this module and every registered submodule, recursively."""
+        yield self
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield from value.modules()
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield from item.modules()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Recursively set the ``training`` flag (PyTorch-style)."""
+        for module in self.modules():
+            module.training = bool(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module tree to inference mode."""
+        return self.train(False)
 
     def parameters(self) -> list[Tensor]:
         params: list[Tensor] = []
@@ -156,10 +186,12 @@ class LSTM(Module):
         input_size: int,
         hidden_size: int,
         rng: np.random.Generator | None = None,
+        fused: bool = True,
     ) -> None:
         rng = rng or np.random.default_rng(0)
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.w_x = Tensor(
             _glorot(rng, input_size, 4 * hidden_size), requires_grad=True
         )
@@ -178,13 +210,26 @@ class LSTM(Module):
         """Run the LSTM over a sequence.
 
         Returns ``(outputs, (h_T, c_T))`` where outputs stacks every hidden
-        state along the time axis.
+        state along the time axis.  Dispatches to the fused single-node
+        kernel (:func:`repro.nn.fused.lstm_sequence`) unless ``self.fused``
+        is False, in which case the generic per-op tape path is used; both
+        paths are numerically interchangeable (see tests/test_fused_kernels).
         """
-        batch, steps, features = x.shape
-        if features != self.input_size:
+        if x.shape[-1] != self.input_size:
             raise ValueError(
-                f"LSTM expected {self.input_size} input features, got {features}"
+                f"LSTM expected {self.input_size} input features, got {x.shape[-1]}"
             )
+        if self.fused:
+            return lstm_sequence(x, self.w_x, self.w_h, self.bias, state)
+        return self.forward_unfused(x, state)
+
+    def forward_unfused(
+        self,
+        x: Tensor,
+        state: tuple[Tensor, Tensor] | None = None,
+    ) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Reference path: one generic tape op per gate per timestep."""
+        batch, steps, features = x.shape
         h_size = self.hidden_size
         if state is None:
             h = Tensor(np.zeros((batch, h_size)))
@@ -227,14 +272,21 @@ class AvgPool1D(Module):
     stage of Figure 6 that produces TS_medium and TS_long.
     """
 
-    def __init__(self, window: int) -> None:
+    def __init__(self, window: int, fused: bool = True) -> None:
         if window < 1:
             raise ValueError("pooling window must be >= 1")
         self.window = window
+        self.fused = fused
 
     def forward(self, x: Tensor) -> Tensor:
         if self.window == 1:
             return x
+        if self.fused:
+            return avg_pool_1d(x, self.window)
+        return self.forward_unfused(x)
+
+    def forward_unfused(self, x: Tensor) -> Tensor:
+        """Reference path: one slice + mean + stack chain per window."""
         batch, steps, features = x.shape
         nwin = _pool_windows(steps, self.window)
         pieces = []
@@ -248,14 +300,21 @@ class AvgPool1D(Module):
 class MaxPool1D(Module):
     """Non-overlapping temporal max pooling over axis 1."""
 
-    def __init__(self, window: int) -> None:
+    def __init__(self, window: int, fused: bool = True) -> None:
         if window < 1:
             raise ValueError("pooling window must be >= 1")
         self.window = window
+        self.fused = fused
 
     def forward(self, x: Tensor) -> Tensor:
         if self.window == 1:
             return x
+        if self.fused:
+            return max_pool_1d(x, self.window)
+        return self.forward_unfused(x)
+
+    def forward_unfused(self, x: Tensor) -> Tensor:
+        """Reference path: one slice + max + stack chain per window."""
         batch, steps, features = x.shape
         nwin = _pool_windows(steps, self.window)
         pieces = []
@@ -284,19 +343,32 @@ class Dropout(Module):
         return x * Tensor(mask)
 
 
+def set_fused(module: Module, enabled: bool) -> Module:
+    """Toggle the fused fast path on every kernel-bearing submodule.
+
+    Used by the benchmark harness to time the pre-fusion (generic tape)
+    baseline against the fused kernels on the same model instance.
+    """
+    for sub in module.modules():
+        if hasattr(sub, "fused"):
+            sub.fused = bool(enabled)
+    return module
+
+
 class Sequential(Module):
     """Apply modules in order."""
 
     def __init__(self, *modules: Module) -> None:
-        self.modules = list(modules)
+        # Named ``layers`` so the inherited ``modules()`` walker stays usable.
+        self.layers = list(modules)
 
     def forward(self, x: Tensor) -> Tensor:
-        for module in self.modules:
+        for module in self.layers:
             x = module(x)
         return x
 
     def __iter__(self) -> Iterable[Module]:
-        return iter(self.modules)
+        return iter(self.layers)
 
     def __len__(self) -> int:
-        return len(self.modules)
+        return len(self.layers)

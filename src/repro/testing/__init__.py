@@ -44,12 +44,14 @@ from .reference import (
     diff_summary,
     max_abs_diff,
     reference_adam_step,
+    reference_avg_pool_1d,
     reference_binary_cross_entropy,
     reference_cusum_scores,
     reference_dense,
     reference_hazard_to_survival,
     reference_lstm_cell,
     reference_lstm_sequence,
+    reference_max_pool_1d,
     reference_safe_survival_loss,
     reference_sgd_step,
     reference_sigmoid,
@@ -79,6 +81,8 @@ __all__ = [
     "reference_sigmoid",
     "reference_lstm_cell",
     "reference_lstm_sequence",
+    "reference_avg_pool_1d",
+    "reference_max_pool_1d",
     "reference_dense",
     "reference_adam_step",
     "reference_sgd_step",

@@ -23,6 +23,8 @@ __all__ = [
     "reference_sigmoid",
     "reference_lstm_cell",
     "reference_lstm_sequence",
+    "reference_avg_pool_1d",
+    "reference_max_pool_1d",
     "reference_dense",
     "reference_adam_step",
     "reference_sgd_step",
@@ -102,6 +104,42 @@ def reference_lstm_sequence(
             h, c = reference_lstm_cell(x[b, t], h, c, w_x, w_h, bias)
             outputs[b, t] = h
     return outputs
+
+
+def reference_avg_pool_1d(x: np.ndarray, window: int) -> np.ndarray:
+    """Non-overlapping temporal mean over ``(batch, time, feat)``, scalar
+    loops; a trailing partial window is averaged over its own length."""
+    batch, steps, feat = x.shape
+    n_windows = (steps + window - 1) // window
+    out = np.zeros((batch, n_windows, feat))
+    for b in range(batch):
+        for w in range(n_windows):
+            start = w * window
+            stop = min(start + window, steps)
+            for j in range(feat):
+                acc = 0.0
+                for t in range(start, stop):
+                    acc += float(x[b, t, j])
+                out[b, w, j] = acc / (stop - start)
+    return out
+
+
+def reference_max_pool_1d(x: np.ndarray, window: int) -> np.ndarray:
+    """Non-overlapping temporal max over ``(batch, time, feat)``, scalar
+    loops; the trailing partial window maxes over its own length."""
+    batch, steps, feat = x.shape
+    n_windows = (steps + window - 1) // window
+    out = np.zeros((batch, n_windows, feat))
+    for b in range(batch):
+        for w in range(n_windows):
+            start = w * window
+            stop = min(start + window, steps)
+            for j in range(feat):
+                best = float(x[b, start, j])
+                for t in range(start + 1, stop):
+                    best = max(best, float(x[b, t, j]))
+                out[b, w, j] = best
+    return out
 
 
 def _reference_activation(value: float, activation: str) -> float:
