@@ -3,7 +3,8 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: verify test fast golden-check golden-record bench bench-full
+.PHONY: verify test fast golden-check golden-record bench bench-full \
+        bench-check metrics-selftest telemetry
 
 test:
 	$(PY) -m pytest -x -q
@@ -26,4 +27,18 @@ bench:
 bench-full:
 	$(PY) -m repro.cli bench --tag fused
 
-verify: test golden-check
+# Compare a fresh full-size run against the committed baseline without
+# overwriting it; host mismatches warn instead of fail.
+bench-check:
+	$(PY) -m repro.cli bench --tag fused --check
+
+# Telemetry (docs/OBSERVABILITY.md): exporter selftest, and a pipeline
+# run that writes a full snapshot to /tmp/repro-telemetry.json.
+metrics-selftest:
+	$(PY) -m repro.cli metrics --selftest
+
+telemetry:
+	$(PY) -m repro.cli pipeline --epochs 2 --telemetry /tmp/repro-telemetry.json
+	$(PY) -m repro.cli metrics /tmp/repro-telemetry.json
+
+verify: test golden-check metrics-selftest

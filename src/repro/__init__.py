@@ -18,13 +18,26 @@ Top-level subpackages
 ``repro.core``     the Xatu model, trainer, online detector, pipeline
 ``repro.metrics``  summary statistics and ROC
 ``repro.eval``     per-figure/table experiment runners
+``repro.obs``      metrics/tracing/profiling telemetry (off by default)
 """
 
 __version__ = "1.0.0"
 
-from . import core, detect, forest, metrics, netflow, nn, scrub, signals, survival, synth
+from . import (
+    core,
+    detect,
+    forest,
+    metrics,
+    netflow,
+    nn,
+    obs,
+    scrub,
+    signals,
+    survival,
+    synth,
+)
 
 __all__ = [
     "nn", "netflow", "synth", "signals", "detect", "forest", "scrub",
-    "survival", "core", "metrics", "__version__",
+    "survival", "core", "metrics", "obs", "__version__",
 ]

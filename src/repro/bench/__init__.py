@@ -11,6 +11,7 @@ from .harness import (
     DEFAULT_BENCH_DIR,
     BenchReport,
     BenchTiming,
+    compare_to_baseline,
     load_bench_json,
     time_callable,
     write_bench_json,
@@ -27,4 +28,5 @@ __all__ = [
     "time_callable",
     "write_bench_json",
     "load_bench_json",
+    "compare_to_baseline",
 ]

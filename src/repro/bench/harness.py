@@ -27,6 +27,7 @@ __all__ = [
     "time_callable",
     "write_bench_json",
     "load_bench_json",
+    "compare_to_baseline",
 ]
 
 BENCH_FORMAT_VERSION = 1
@@ -112,6 +113,17 @@ class BenchReport:
                 out[name] = unfused.best / fused.best
         return out
 
+    def obs_overheads(self) -> dict[str, float]:
+        """Fractional telemetry cost per case with enabled/disabled variants
+        (``enabled_best / disabled_best - 1``; 0.03 means +3%)."""
+        out: dict[str, float] = {}
+        for name in sorted({t.name for t in self.timings}):
+            enabled = self.timing(name, "enabled")
+            disabled = self.timing(name, "disabled")
+            if enabled and disabled and disabled.best > 0:
+                out[name] = enabled.best / disabled.best - 1.0
+        return out
+
     def render(self) -> str:
         """Human-readable table: case, fused, pre-fusion baseline, speedup."""
         speedups = self.speedups()
@@ -119,6 +131,8 @@ class BenchReport:
         for name in sorted({t.name for t in self.timings}):
             fused = self.timing(name, "fused")
             unfused = self.timing(name, "unfused")
+            if fused is None and unfused is None:
+                continue  # obs-overhead cases render separately below
             rows.append(
                 (
                     name,
@@ -131,11 +145,24 @@ class BenchReport:
         lines = [header, "-" * len(header)]
         for name, fused_ms, unfused_ms, speedup in rows:
             lines.append(f"{name:<24} {fused_ms:>9} {unfused_ms:>10} {speedup:>7}")
+        overheads = self.obs_overheads()
+        if overheads:
+            lines.append("")
+            lines.append("telemetry overhead (enabled vs disabled):")
+            for name, frac in overheads.items():
+                enabled = self.timing(name, "enabled")
+                disabled = self.timing(name, "disabled")
+                lines.append(
+                    f"  {name:<22} {disabled.best * 1e3:9.2f} ms -> "
+                    f"{enabled.best * 1e3:9.2f} ms  ({frac:+.1%})"
+                )
         return "\n".join(lines)
 
 
 def write_bench_json(report: BenchReport, path: str | Path) -> Path:
     """Serialize a report to ``<path>/BENCH_<tag>.json`` (versioned)."""
+    from ..obs.export import host_metadata
+
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
     out = path / f"BENCH_{report.tag}.json"
@@ -148,11 +175,13 @@ def write_bench_json(report: BenchReport, path: str | Path) -> Path:
             "numpy": np.__version__,
             "machine": platform.machine(),
         },
+        "host": host_metadata(),
         "sizes": report.sizes,
         "benchmarks": {
             f"{t.name}/{t.variant}": t.to_json() for t in report.timings
         },
         "speedups": report.speedups(),
+        "obs_overheads": report.obs_overheads(),
     }
     out.write_text(json.dumps(payload, indent=2) + "\n")
     return out
@@ -168,3 +197,76 @@ def load_bench_json(path: str | Path) -> dict:
             f"understands {BENCH_FORMAT_VERSION}"
         )
     return payload
+
+
+def compare_to_baseline(
+    report: BenchReport,
+    baseline: dict,
+    tolerance: float = 0.5,
+) -> tuple[list[str], list[str]]:
+    """Compare a fresh report against a committed ``BENCH_<tag>.json``.
+
+    Returns ``(warnings, failures)``.  A case regresses when its best time
+    exceeds the baseline's by more than ``tolerance`` (0.5 = 50% slower).
+    Host mismatches (different interpreter/numpy/machine than the machine
+    that wrote the baseline) demote every regression to a warning — timing
+    baselines are only comparable on like hardware.  Cases whose workload
+    sizes differ from the baseline's are skipped with a warning.
+    """
+    from ..obs.export import host_metadata
+
+    warnings: list[str] = []
+    failures: list[str] = []
+
+    baseline_host = baseline.get("host") or baseline.get("platform") or {}
+    here = host_metadata()
+    mismatched = [
+        key
+        for key in ("python", "numpy", "machine")
+        if key in baseline_host and baseline_host[key] != here.get(key)
+    ]
+    host_matches = not mismatched
+    if mismatched:
+        detail = ", ".join(
+            f"{k}: baseline {baseline_host[k]} vs here {here.get(k)}"
+            for k in mismatched
+        )
+        warnings.append(
+            f"host differs from baseline ({detail}); regressions reported "
+            "as warnings only"
+        )
+    if bool(baseline.get("smoke")) != report.smoke:
+        warnings.append(
+            "smoke flag differs from baseline; timings are not comparable"
+        )
+        host_matches = False
+
+    baseline_sizes = baseline.get("sizes", {})
+    baseline_benchmarks = baseline.get("benchmarks", {})
+    for timing in report.timings:
+        key = f"{timing.name}/{timing.variant}"
+        entry = baseline_benchmarks.get(key)
+        if entry is None:
+            warnings.append(f"{key}: no baseline entry; skipped")
+            continue
+        size_key = next(
+            (k for k in baseline_sizes if timing.name.startswith(k)), None
+        )
+        if (
+            size_key is not None
+            and size_key in report.sizes
+            and baseline_sizes[size_key] != report.sizes[size_key]
+        ):
+            warnings.append(f"{key}: workload sizes differ; skipped")
+            continue
+        base_best = float(entry["best_s"])
+        if base_best <= 0:
+            continue
+        ratio = timing.best / base_best
+        if ratio > 1.0 + tolerance:
+            message = (
+                f"{key}: {timing.best * 1e3:.2f} ms vs baseline "
+                f"{base_best * 1e3:.2f} ms ({ratio:.2f}x slower)"
+            )
+            (failures if host_matches else warnings).append(message)
+    return warnings, failures

@@ -17,6 +17,9 @@ Each case builds identical workloads for the fused and unfused variants
   ``XatuModel.survival_np`` (the graph-free inference lane).
 * ``day_scoring_f32``   — the same day under the float32 inference
   policy (fused only; recorded for the trajectory, no speedup ratio).
+* ``train_epoch_obs``   — the ``train_epoch`` workload with telemetry
+  disabled vs enabled (``repro.obs``); the enabled/disabled ratio bounds
+  the instrumentation overhead (<3% budget, see docs/OBSERVABILITY.md).
 
 ``run_all(smoke=True)`` shrinks every size so the whole suite finishes in
 a few seconds — that is what ``make bench`` / CI run to keep the perf
@@ -41,6 +44,7 @@ BENCH_CASES = (
     "train_epoch",
     "synthetic_day",
     "day_scoring_f32",
+    "train_epoch_obs",
 )
 
 
@@ -146,6 +150,22 @@ def _make_train_epoch(sizes: dict, fused: bool):
     return lambda: trainer.fit(samples)
 
 
+def _make_train_epoch_obs(sizes: dict, enabled: bool):
+    """The ``train_epoch`` workload under a telemetry switch state."""
+    from ..obs import set_enabled
+
+    fit = _make_train_epoch(sizes, fused=True)
+
+    def run():
+        previous = set_enabled(enabled)
+        try:
+            fit()
+        finally:
+            set_enabled(previous)
+
+    return run
+
+
 def _make_synthetic_day(sizes: dict, fused: bool, dtype=None):
     from ..core.model import XatuModel
 
@@ -195,6 +215,13 @@ def run_all(
             report.add(
                 BenchTiming(case, "fused", tuple(time_callable(fn, reps, warmup)))
             )
+            continue
+        if case == "train_epoch_obs":
+            for variant, enabled in (("disabled", False), ("enabled", True)):
+                fn = _make_train_epoch_obs(sizes, enabled)
+                report.add(
+                    BenchTiming(case, variant, tuple(time_callable(fn, reps, warmup)))
+                )
             continue
         builder = _BUILDERS[case]
         for variant, fused in (("fused", True), ("unfused", False)):

@@ -9,7 +9,16 @@ Commands
                at one overhead bound.
 ``train``    — train a per-attack-type model registry and save it to disk.
 ``bench``    — fused-vs-unfused nn microbenchmarks, tracked via
-               ``BENCH_<tag>.json`` (docs/PERFORMANCE.md).
+               ``BENCH_<tag>.json`` (docs/PERFORMANCE.md); ``--check``
+               compares against the committed baseline (host mismatches
+               warn rather than fail).
+``metrics``  — render a ``--telemetry`` JSON file (top-style table,
+               Prometheus exposition, or raw JSON), or ``--selftest``
+               the exporters.
+
+``train``, ``pipeline``, and ``bench`` accept ``--telemetry <path>``:
+the run executes with the ``repro.obs`` switch enabled and writes a
+telemetry snapshot (metrics + span trace) there (docs/OBSERVABILITY.md).
 
 Every command accepts ``--seed``, ``--days``, ``--customers``, and
 ``--epochs`` to size the run; defaults finish in well under a minute.
@@ -89,10 +98,82 @@ def cmd_census(args) -> int:
     return 0
 
 
+def _write_cli_telemetry(path: str) -> None:
+    """Snapshot the global obs registry + tracer into one JSON file."""
+    from .obs import get_registry, get_tracer, write_telemetry
+
+    out = write_telemetry(path, get_registry().snapshot(), get_tracer().snapshot())
+    print(f"wrote telemetry to {out}")
+
+
+def _replay_online_minutes(pipeline, minutes: int = 10) -> None:
+    """Feed-health replay for the telemetry snapshot.
+
+    Streams the tail of the pipeline's trace through the datagram codec
+    (deterministically dropping every 17th export datagram, so the
+    collector's gap accounting has something to count) into an
+    :class:`~repro.core.OnlineXatu` built from the trained artefacts —
+    populating the ``online.*`` and ``netflow.*`` series alongside the
+    ``train.*`` ones.
+    """
+    from .core import OnlineXatu
+    from .netflow import DatagramCodec, FlowCollector
+    from .synth import TraceReplayer
+
+    model = pipeline._trained_model
+    scaler = pipeline._trained_scaler
+    threshold = pipeline._calibrated_threshold
+    if model is None or threshold is None:
+        registry = getattr(pipeline, "registry", None)
+        if registry is None:
+            return
+        entry = registry.entry_for(None)
+        model, scaler, threshold = entry.model, entry.scaler, entry.threshold
+    trace = pipeline.trace
+    world = trace.world
+    blocklist = set()
+    for botnet in world.botnets:
+        blocklist.update(int(a) for a in botnet.blocklisted_members)
+    online = OnlineXatu(
+        model=model,
+        scaler=scaler,
+        threshold=threshold,
+        customer_of={c.address: c.customer_id for c in world.customers},
+        blocklist=blocklist,
+        route_table=world.route_table,
+        base_rate_of={c.customer_id: c.base_rate_bytes for c in world.customers},
+    )
+    codec = DatagramCodec(engine_id=1)
+    collector = FlowCollector()
+    start = max(0, trace.horizon - minutes)
+    datagram_index = 0
+    alerts = 0
+    for minute, flows in TraceReplayer(trace, seed=0).replay(start, trace.horizon):
+        arrived = []
+        for lo in range(0, len(flows), 30):
+            blob = codec.encode(flows[lo : lo + 30], unix_secs=minute * 60)
+            datagram_index += 1
+            if datagram_index % 17 == 0:
+                continue  # simulated export loss
+            arrived.extend(collector.ingest_datagram(blob))
+        alerts += len(online.observe_minute(minute, arrived))
+    health = collector.feed_health()
+    print(f"online replay    {trace.horizon - start} minutes, "
+          f"{health.records_received} records "
+          f"({health.records_lost} lost, {health.loss_rate:.1%}), "
+          f"{alerts} alerts")
+
+
 def cmd_pipeline(args) -> int:
     from .core import XatuPipeline
 
-    result = XatuPipeline(_build_pipeline_config(args)).run()
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from .obs import set_enabled
+
+        set_enabled(True)
+    pipeline = XatuPipeline(_build_pipeline_config(args))
+    result = pipeline.run()
     print(f"threshold        {result.calibration.threshold:.3g}")
     print(f"effectiveness    median {result.effectiveness.median:.1%} "
           f"(p10 {result.effectiveness.low:.1%}, p90 {result.effectiveness.high:.1%})")
@@ -101,6 +182,10 @@ def cmd_pipeline(args) -> int:
           f"(bound {args.overhead_bound:.2%})")
     print(f"alerts           {len(result.detection.alerts)} "
           f"({sum(1 for a in result.detection.alerts if a.event_id >= 0)} matched)")
+    if telemetry_path:
+        _replay_online_minutes(pipeline)
+        _write_cli_telemetry(telemetry_path)
+        set_enabled(False)
     return 0
 
 
@@ -124,6 +209,11 @@ def cmd_train(args) -> int:
     from .signals import FeatureExtractor
     from .synth import TraceGenerator
 
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from .obs import set_enabled
+
+        set_enabled(True)
     trace = TraceGenerator(_build_scenario(args)).generate()
     alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
     extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
@@ -139,6 +229,9 @@ def cmd_train(args) -> int:
         losses = entry.train_result.train_losses if entry.train_result else []
         trend = f"{losses[0]:.3f}->{losses[-1]:.3f}" if losses else "n/a"
         print(f"  {key:<18} events={entry.n_train_events:<4} loss {trend}")
+    if telemetry_path:
+        _write_cli_telemetry(telemetry_path)
+        set_enabled(False)
     return 0
 
 
@@ -187,7 +280,15 @@ def cmd_golden(args) -> int:
 
 def cmd_bench(args) -> int:
     """Run the fused-vs-unfused microbenchmarks and write BENCH_<tag>.json."""
-    from .bench import BENCH_CASES, run_all, write_bench_json
+    from pathlib import Path
+
+    from .bench import (
+        BENCH_CASES,
+        compare_to_baseline,
+        load_bench_json,
+        run_all,
+        write_bench_json,
+    )
 
     cases = None
     if args.only:
@@ -197,16 +298,83 @@ def cmd_bench(args) -> int:
                   f"choose from {', '.join(BENCH_CASES)}")
             return 2
         cases = tuple(args.only)
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from .obs import set_enabled
+
+        set_enabled(True)
     report = run_all(
         tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
     )
+    if telemetry_path:
+        _write_cli_telemetry(telemetry_path)
+        set_enabled(False)
     print(report.render())
-    out = write_bench_json(report, args.out)
-    print(f"\nwrote {out}")
+    status = 0
+    if args.check:
+        # Compare-only mode: never overwrite the committed baseline.
+        baseline_path = Path(args.out) / f"BENCH_{args.tag}.json"
+        if not baseline_path.exists():
+            print(f"\nno baseline at {baseline_path}; nothing to check against")
+        else:
+            warnings, failures = compare_to_baseline(
+                report, load_bench_json(baseline_path)
+            )
+            for message in warnings:
+                print(f"warning: {message}")
+            for message in failures:
+                print(f"REGRESSION: {message}")
+            if failures:
+                status = 1
+            else:
+                print(f"\ncheck against {baseline_path}: OK "
+                      f"({len(warnings)} warning(s))")
+    else:
+        out = write_bench_json(report, args.out)
+        print(f"\nwrote {out}")
     speedups = report.speedups()
     if speedups:
         worst = min(speedups, key=speedups.get)
         print(f"smallest speedup: {worst} at {speedups[worst]:.1f}x")
+    overheads = report.obs_overheads()
+    for name, frac in overheads.items():
+        budget = 0.03
+        verdict = "within" if frac < budget else "OVER"
+        print(f"telemetry overhead ({name}): {frac:+.1%} — "
+              f"{verdict} the {budget:.0%} budget")
+    return status
+
+
+def cmd_metrics(args) -> int:
+    """Render a telemetry JSON file, or --selftest the exporters."""
+    if args.selftest:
+        from .obs import selftest
+
+        problems = selftest()
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}")
+            return 1
+        print("obs exporters selftest: OK")
+        if not args.path:
+            return 0
+    if not args.path:
+        print("metrics: provide a telemetry JSON path (or --selftest)")
+        return 2
+    from .obs import load_telemetry, render_top, snapshot_from_json, to_prometheus
+    from .obs.tracing import SpanNode
+
+    payload = load_telemetry(args.path)
+    snapshot = snapshot_from_json(payload)
+    tree = SpanNode.from_json(payload["trace"]) if payload.get("trace") else None
+    if args.format == "prom":
+        print(to_prometheus(snapshot), end="")
+    elif args.format == "json":
+        import json
+
+        print(json.dumps(payload, indent=2))
+    else:
+        print(render_top(snapshot, tree, payload.get("host")))
     return 0
 
 
@@ -254,6 +422,10 @@ def build_parser() -> argparse.ArgumentParser:
         if "report_out" in extra:
             p.add_argument("--out", default=None,
                            help="write the markdown report here (default: stdout)")
+        if name in ("pipeline", "train"):
+            p.add_argument("--telemetry", default=None, metavar="PATH",
+                           help="enable repro.obs and write the telemetry "
+                           "snapshot (metrics + span trace) to this JSON file")
         p.set_defaults(func=func)
 
     golden = sub.add_parser(
@@ -291,7 +463,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for the result JSON")
     bench.add_argument("--only", nargs="*", default=None,
                        help="subset of cases to run")
+    bench.add_argument("--check", action="store_true",
+                       help="compare against the committed BENCH_<tag>.json "
+                       "instead of overwriting it; host mismatches demote "
+                       "regressions to warnings")
+    bench.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="enable repro.obs during the run and write the "
+                       "telemetry snapshot to this JSON file")
     bench.set_defaults(func=cmd_bench)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a --telemetry JSON file or selftest the exporters",
+        description="Telemetry viewer: top-style console table (default), "
+        "Prometheus text exposition, or raw JSON.  --selftest exercises "
+        "every exporter on a synthetic registry (see docs/OBSERVABILITY.md).",
+    )
+    metrics.add_argument("path", nargs="?", default=None,
+                         help="telemetry JSON written by --telemetry")
+    metrics.add_argument("--format", choices=["top", "prom", "json"],
+                         default="top", help="output rendering")
+    metrics.add_argument("--selftest", action="store_true",
+                         help="check the exporters and exit")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

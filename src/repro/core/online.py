@@ -20,6 +20,7 @@ margin is discarded each minute.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -33,6 +34,7 @@ from ..netflow.matrix import (
 )
 from ..netflow.records import FlowRecord
 from ..netflow.routing import RouteTable
+from ..obs import get_registry, obs_enabled, trace
 from ..signals.clustering import AttackerCustomerGraph
 from ..signals.features import N_FEATURES, FeatureScaler, group_slices
 from ..signals.history import AlertRecord, AttackHistoryStore, PreviousAttackerStore
@@ -211,32 +213,78 @@ class OnlineXatu:
                 f"minutes must advance: got {minute} after {self._minute}"
             )
         self._minute = minute
-        for flow in flows:
-            customer_id = self.customer_of.get(flow.dst_addr)
-            if customer_id is None:
-                continue
-            self._watched.add(customer_id)
-            self.matrix.add_flow(customer_id, flow, self._classify(customer_id, flow))
+        telemetry_on = obs_enabled()
+        if telemetry_on:
+            registry = get_registry()
+            minute_start = time.perf_counter()
+        ingested = 0
+        unrouted = 0
+        with trace("online.observe_minute"):
+            for flow in flows:
+                customer_id = self.customer_of.get(flow.dst_addr)
+                if customer_id is None:
+                    unrouted += 1
+                    continue
+                ingested += 1
+                self._watched.add(customer_id)
+                self.matrix.add_flow(
+                    customer_id, flow, self._classify(customer_id, flow)
+                )
 
-        alerts: list[OnlineAlert] = []
-        detect_window = self.model.config.detect_window
-        for customer_id in sorted(self._watched):
-            window = self._feature_window(customer_id, minute)
-            x = self.scaler.transform(window)[None, :, :]
-            hazards = self.model.hazards_np(x)[0]
-            self._hazards[customer_id].append(float(hazards[-1]))
-            # Keep bounded memory for the rolling survival computation.
-            if len(self._hazards[customer_id]) > 4 * detect_window:
-                self._hazards[customer_id] = self._hazards[customer_id][-2 * detect_window:]
-            if minute < self._suppressed_until.get(customer_id, -1):
-                continue
-            survival = self._survival(customer_id)
-            if survival < self.threshold:
-                alerts.append(OnlineAlert(customer_id, minute, survival))
-                # Suppress re-alerting until re-armed (CScrub notice or
-                # rearm_after minutes, whichever first).
-                self._suppressed_until[customer_id] = minute + self.rearm_after
+            alerts: list[OnlineAlert] = []
+            evicted = 0
+            detect_window = self.model.config.detect_window
+            with trace("online.score_customers"):
+                for customer_id in sorted(self._watched):
+                    score_start = time.perf_counter() if telemetry_on else 0.0
+                    window = self._feature_window(customer_id, minute)
+                    x = self.scaler.transform(window)[None, :, :]
+                    hazards = self.model.hazards_np(x)[0]
+                    self._hazards[customer_id].append(float(hazards[-1]))
+                    # Keep bounded memory for the rolling survival computation.
+                    if len(self._hazards[customer_id]) > 4 * detect_window:
+                        evicted += len(self._hazards[customer_id]) - 2 * detect_window
+                        self._hazards[customer_id] = self._hazards[customer_id][-2 * detect_window:]
+                    if telemetry_on:
+                        registry.histogram(
+                            "online.score_seconds",
+                            "per-customer scoring latency (one minute refresh)",
+                        ).observe(time.perf_counter() - score_start)
+                    if minute < self._suppressed_until.get(customer_id, -1):
+                        continue
+                    survival = self._survival(customer_id)
+                    if survival < self.threshold:
+                        alerts.append(OnlineAlert(customer_id, minute, survival))
+                        # Suppress re-alerting until re-armed (CScrub notice or
+                        # rearm_after minutes, whichever first).
+                        self._suppressed_until[customer_id] = minute + self.rearm_after
         self._pending.extend(alerts)
+        if telemetry_on:
+            registry.counter("online.minutes", "minutes observed").inc()
+            registry.counter("online.flows", "flows ingested and attributed").inc(
+                ingested
+            )
+            if unrouted:
+                registry.counter(
+                    "online.flows_unrouted", "flows dropped: unknown destination"
+                ).inc(unrouted)
+            if alerts:
+                registry.counter("online.alerts", "early-detection alerts emitted").inc(
+                    len(alerts)
+                )
+            if evicted:
+                registry.counter(
+                    "online.hazard_evictions", "hazard-history entries evicted"
+                ).inc(evicted)
+            registry.gauge(
+                "online.watched_customers", "customers currently scored each minute"
+            ).set(len(self._watched))
+            registry.histogram(
+                "online.minute_seconds", "wall time of one observe_minute call"
+            ).observe(time.perf_counter() - minute_start)
+            registry.ewma("online.flow_rate", "flows per observed minute").observe(
+                float(len(flows))
+            )
         return alerts
 
     def poll_alerts(self) -> list[OnlineAlert]:

@@ -3,19 +3,30 @@
 §5.3: Adam optimizer, SAFE loss, learning rate 1e-4, batch size 64.  The
 "Xatu w/o survival model" ablation (Figure 18d) swaps the SAFE loss for a
 per-step binary cross-entropy on the instantaneous attack probability.
+
+When telemetry is enabled (``repro.obs``), the loop records loss,
+pre-clip gradient norm, per-step wall time, and epoch throughput into the
+global metrics registry, under ``train.fit`` / ``train.epoch`` spans; the
+``train_epoch_obs`` bench case bounds the enabled-path overhead.  An
+optional per-epoch :class:`EpochProgress` callback surfaces the same
+numbers to callers (silent by default, so existing runs and golden traces
+are untouched).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from ..nn import Adam, Tensor, binary_cross_entropy, clip_grad_norm, safe_survival_loss
+from ..obs import get_registry, obs_enabled, trace
 from .dataset import SampleSet
 from .model import XatuModel
 
-__all__ = ["TrainConfig", "TrainResult", "XatuTrainer"]
+__all__ = ["TrainConfig", "TrainResult", "EpochProgress", "XatuTrainer"]
 
 
 @dataclass
@@ -40,6 +51,19 @@ class TrainResult:
     val_losses: list[float] = field(default_factory=list)
     epochs_run: int = 0
     stopped_early: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class EpochProgress:
+    """One epoch's feedback, handed to the optional progress callback."""
+
+    epoch: int  # 1-based
+    epochs: int
+    train_loss: float
+    val_loss: float | None
+    steps: int
+    epoch_seconds: float
+    mean_step_seconds: float
 
 
 class XatuTrainer:
@@ -83,8 +107,14 @@ class XatuTrainer:
         self,
         train: SampleSet,
         validation: SampleSet | None = None,
+        progress: Callable[[EpochProgress], None] | None = None,
     ) -> TrainResult:
-        """Run the optimization; returns the loss trajectory."""
+        """Run the optimization; returns the loss trajectory.
+
+        ``progress`` (optional) is called once per epoch with an
+        :class:`EpochProgress`; when None (the default) the loop is
+        silent, exactly as before.
+        """
         cfg = self.config
         result = TrainResult()
         self.model.train()
@@ -92,25 +122,81 @@ class XatuTrainer:
         n = len(train)
         best_val = np.inf
         stale = 0
-        for _epoch in range(cfg.epochs):
-            order = self._rng.permutation(n)
-            epoch_loss = 0.0
-            n_batches = 0
-            for lo in range(0, n, cfg.batch_size):
-                idx = order[lo : lo + cfg.batch_size]
-                self._optimizer.zero_grad()
-                loss = self._loss(x_all[idx], c_all[idx], t_all[idx])
-                loss.backward()
-                clip_grad_norm(self._optimizer.parameters, cfg.grad_clip)
-                self._optimizer.step()
-                epoch_loss += loss.item()
-                n_batches += 1
-            result.train_losses.append(epoch_loss / max(1, n_batches))
-            result.epochs_run += 1
-            if validation is not None:
-                val_loss = self.evaluate_loss(validation)
-                result.val_losses.append(val_loss)
-                if cfg.early_stop_patience is not None:
+        telemetry_on = obs_enabled()
+        want_timing = telemetry_on or progress is not None
+        if telemetry_on:
+            registry = get_registry()
+            m_steps = registry.counter("train.steps", "optimizer steps taken")
+            m_epochs = registry.counter("train.epochs", "training epochs completed")
+            m_samples = registry.counter("train.samples", "training samples consumed")
+            m_loss = registry.gauge("train.loss", "last batch loss")
+            m_epoch_loss = registry.gauge("train.epoch_loss", "last epoch mean loss")
+            m_val_loss = registry.gauge("train.val_loss", "last validation loss")
+            m_grad = registry.gauge("train.grad_norm", "last pre-clip gradient norm")
+            m_step_s = registry.histogram(
+                "train.step_seconds", "wall time of one optimizer step"
+            )
+            m_epoch_s = registry.histogram(
+                "train.epoch_seconds", "wall time of one training epoch"
+            )
+            m_rate = registry.ewma(
+                "train.samples_per_second", "epoch training throughput"
+            )
+        with trace("train.fit"):
+            for _epoch in range(cfg.epochs):
+                order = self._rng.permutation(n)
+                epoch_loss = 0.0
+                n_batches = 0
+                epoch_start = time.perf_counter() if want_timing else 0.0
+                step_seconds = 0.0
+                with trace("train.epoch"):
+                    for lo in range(0, n, cfg.batch_size):
+                        idx = order[lo : lo + cfg.batch_size]
+                        step_start = time.perf_counter() if want_timing else 0.0
+                        self._optimizer.zero_grad()
+                        loss = self._loss(x_all[idx], c_all[idx], t_all[idx])
+                        loss.backward()
+                        grad_norm = clip_grad_norm(
+                            self._optimizer.parameters, cfg.grad_clip
+                        )
+                        self._optimizer.step()
+                        loss_value = loss.item()
+                        epoch_loss += loss_value
+                        n_batches += 1
+                        if want_timing:
+                            step_seconds += time.perf_counter() - step_start
+                        if telemetry_on:
+                            m_steps.inc()
+                            m_samples.inc(len(idx))
+                            m_loss.set(loss_value)
+                            m_grad.set(grad_norm)
+                            m_step_s.observe(time.perf_counter() - step_start)
+                result.train_losses.append(epoch_loss / max(1, n_batches))
+                result.epochs_run += 1
+                val_loss: float | None = None
+                if validation is not None:
+                    val_loss = self.evaluate_loss(validation)
+                    result.val_losses.append(val_loss)
+                if telemetry_on:
+                    epoch_seconds = time.perf_counter() - epoch_start
+                    m_epochs.inc()
+                    m_epoch_loss.set(result.train_losses[-1])
+                    m_epoch_s.observe(epoch_seconds)
+                    if epoch_seconds > 0:
+                        m_rate.observe(n / epoch_seconds)
+                    if val_loss is not None:
+                        m_val_loss.set(val_loss)
+                if progress is not None:
+                    progress(EpochProgress(
+                        epoch=result.epochs_run,
+                        epochs=cfg.epochs,
+                        train_loss=result.train_losses[-1],
+                        val_loss=val_loss,
+                        steps=n_batches,
+                        epoch_seconds=time.perf_counter() - epoch_start,
+                        mean_step_seconds=step_seconds / max(1, n_batches),
+                    ))
+                if validation is not None and cfg.early_stop_patience is not None:
                     if val_loss < best_val - 1e-6:
                         best_val = val_loss
                         stale = 0

@@ -25,14 +25,14 @@ from .records import (
 )
 from .datagram import DatagramCodec, DatagramHeader, SequenceTracker
 from .routing import BOGON_CIDRS, RouteEntry, RouteTable, SpoofVerdict, is_bogon
-from .sampler import FlowCollector, FlowExporter, PacketSampler
+from .sampler import FeedHealth, FlowCollector, FlowExporter, PacketSampler
 
 __all__ = [
     "FlowRecord", "Protocol", "TcpFlags",
     "encode_flow", "decode_flow", "encode_flows", "decode_flows", "FLOW_WIRE_SIZE",
     "ip_to_int", "int_to_ip", "subnet24", "subnet24_str", "in_cidr", "cidr_to_range",
     "BOGON_CIDRS", "is_bogon", "RouteEntry", "RouteTable", "SpoofVerdict",
-    "PacketSampler", "FlowExporter", "FlowCollector",
+    "PacketSampler", "FlowExporter", "FlowCollector", "FeedHealth",
     "TrafficMatrix", "VolumetricAccumulator",
     "POPULAR_PORTS", "POPULAR_COUNTRIES", "VOLUMETRIC_FEATURE_NAMES", "N_VOLUMETRIC",
     "SOURCE_CLASS_ALL", "SOURCE_CLASS_BLOCKLIST", "SOURCE_CLASS_PREV_ATTACKER",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from ..obs import get_registry, obs_enabled
 from .records import FLOW_WIRE_SIZE, FlowRecord, decode_flow, encode_flow
 
 __all__ = ["DatagramHeader", "DatagramCodec", "SequenceTracker"]
@@ -97,14 +98,33 @@ class SequenceTracker:
         """Account one datagram header; returns records lost before it."""
         expected = self._expected.get(header.engine_id)
         lost = 0
+        reordered = False
         if expected is not None:
             if header.flow_sequence > expected:
                 lost = header.flow_sequence - expected
                 self.records_lost += lost
             elif header.flow_sequence < expected:
                 self.out_of_order += 1
+                reordered = True
         self._expected[header.engine_id] = header.flow_sequence + header.count
         self.records_received += header.count
+        if obs_enabled():
+            registry = get_registry()
+            registry.counter("netflow.datagrams", "export datagrams observed").inc()
+            registry.counter("netflow.records", "flow records received").inc(
+                header.count
+            )
+            if lost:
+                registry.counter(
+                    "netflow.records_lost", "flow records lost (sequence gaps)"
+                ).inc(lost)
+            if reordered:
+                registry.counter(
+                    "netflow.datagrams_reordered", "datagrams arriving out of order"
+                ).inc()
+            registry.gauge(
+                "netflow.loss_rate", "fraction of exported records lost in transit"
+            ).set(self.loss_rate)
         return lost
 
     @property

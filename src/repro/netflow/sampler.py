@@ -15,9 +15,21 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from .datagram import DatagramCodec, SequenceTracker
 from .records import FlowRecord, decode_flows, encode_flows
 
-__all__ = ["PacketSampler", "FlowExporter", "FlowCollector"]
+__all__ = ["PacketSampler", "FlowExporter", "FlowCollector", "FeedHealth"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeedHealth:
+    """Collector-side view of export-feed quality (gap accounting)."""
+
+    datagrams_received: int
+    records_received: int
+    records_lost: int
+    datagrams_reordered: int
+    loss_rate: float
 
 
 class PacketSampler:
@@ -101,6 +113,7 @@ class FlowCollector:
         self.records_received = 0
         self.datagrams_received = 0
         self._records: list[FlowRecord] = []
+        self._tracker = SequenceTracker()
 
     def ingest(self, datagram: bytes) -> list[FlowRecord]:
         """Decode one export datagram, retaining and returning its records."""
@@ -109,6 +122,32 @@ class FlowCollector:
         self.records_received += len(flows)
         self._records.extend(flows)
         return flows
+
+    def ingest_datagram(self, blob: bytes) -> list[FlowRecord]:
+        """Decode one *headered* export datagram (v5-style envelope).
+
+        Runs the flow-sequence gap accounting through the collector's
+        :class:`~repro.netflow.datagram.SequenceTracker`, so datagram loss
+        and reordering show up in :meth:`feed_health` (and, when telemetry
+        is enabled, in the ``netflow.*`` obs counters).
+        """
+        header, flows = DatagramCodec.decode(blob)
+        self._tracker.observe(header)
+        self.datagrams_received += 1
+        self.records_received += len(flows)
+        self._records.extend(flows)
+        return flows
+
+    def feed_health(self) -> FeedHealth:
+        """Gap/reorder accounting over every headered datagram ingested."""
+        tracker = self._tracker
+        return FeedHealth(
+            datagrams_received=self.datagrams_received,
+            records_received=tracker.records_received,
+            records_lost=tracker.records_lost,
+            datagrams_reordered=tracker.out_of_order,
+            loss_rate=tracker.loss_rate,
+        )
 
     def drain(self) -> list[FlowRecord]:
         """Return and clear all retained records."""

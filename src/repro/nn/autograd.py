@@ -14,6 +14,7 @@ broadcasting support so the engine is usable as a general library.
 from __future__ import annotations
 
 import functools
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -24,10 +25,33 @@ __all__ = [
     "is_grad_enabled",
     "inference_dtype",
     "resolve_inference_dtype",
+    "set_tape_hook",
+    "get_tape_hook",
 ]
 
 _GRAD_ENABLED = True
 _INFERENCE_DTYPE: np.dtype | None = None
+
+# Optional profiling hook (see repro.obs.profiler): an object with
+# ``record_forward(op, seconds)`` / ``record_backward(op, seconds)``.
+# None (the default) keeps the tape's hot path to one extra branch.
+_TAPE_HOOK = None
+
+
+def set_tape_hook(hook):
+    """Install (or clear, with None) the tape profiling hook.
+
+    Returns the previous hook so callers can restore it.
+    """
+    global _TAPE_HOOK
+    previous = _TAPE_HOOK
+    _TAPE_HOOK = hook
+    return previous
+
+
+def get_tape_hook():
+    """The currently installed tape profiling hook, or None."""
+    return _TAPE_HOOK
 
 
 class no_grad:
@@ -260,6 +284,7 @@ class Tensor:
                 if id(parent) not in visited:
                     stack.append((parent, False))
 
+        hook = _TAPE_HOOK
         grads: dict[int, np.ndarray] = {id(self): np.array(grad, dtype=np.float64)}
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
@@ -268,7 +293,15 @@ class Tensor:
             if node.requires_grad:
                 node._accumulate(node_grad)
             if node._backward is not None:
-                for parent, pgrad in node._backward(node_grad):
+                if hook is None:
+                    pairs = node._backward(node_grad)
+                else:
+                    start = time.perf_counter()
+                    pairs = node._backward(node_grad)
+                    hook.record_backward(
+                        node.name or "anon", time.perf_counter() - start
+                    )
+                for parent, pgrad in pairs:
                     pgrad = _unbroadcast(
                         np.asarray(pgrad, dtype=np.float64), parent.data.shape
                     )
@@ -285,33 +318,51 @@ class Tensor:
         other,
         forward: Callable[[np.ndarray, np.ndarray], np.ndarray],
         backward: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], tuple],
+        op: str = "",
     ) -> "Tensor":
         other = Tensor.from_any(other)
-        out_data = forward(self.data, other.data)
+        hook = _TAPE_HOOK
+        if hook is None:
+            out_data = forward(self.data, other.data)
+            op = ""
+        else:
+            op = op or getattr(forward, "__name__", "binary")
+            start = time.perf_counter()
+            out_data = forward(self.data, other.data)
+            hook.record_forward(op, time.perf_counter() - start)
         if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad or self._parents or other._parents):
-            return Tensor(out_data)
+            return Tensor(out_data, name=op)
         a, b = self, other
 
         def back(grad: np.ndarray):
             ga, gb = backward(grad, a.data, b.data, out_data)
             return ((a, ga), (b, gb))
 
-        return Tensor(out_data, _parents=(a, b), _backward=back)
+        return Tensor(out_data, _parents=(a, b), _backward=back, name=op)
 
     def _unary(
         self,
         forward: Callable[[np.ndarray], np.ndarray],
         backward: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray],
+        op: str = "",
     ) -> "Tensor":
-        out_data = forward(self.data)
+        hook = _TAPE_HOOK
+        if hook is None:
+            out_data = forward(self.data)
+            op = ""
+        else:
+            op = op or getattr(forward, "__name__", "unary")
+            start = time.perf_counter()
+            out_data = forward(self.data)
+            hook.record_forward(op, time.perf_counter() - start)
         if not _GRAD_ENABLED or not (self.requires_grad or self._parents):
-            return Tensor(out_data)
+            return Tensor(out_data, name=op)
         a = self
 
         def back(grad: np.ndarray):
             return ((a, backward(grad, a.data, out_data)),)
 
-        return Tensor(out_data, _parents=(a,), _backward=back)
+        return Tensor(out_data, _parents=(a,), _backward=back, name=op)
 
     def __add__(self, other) -> "Tensor":
         return self._binary(other, np.add, lambda g, a, b, o: (g, g))
@@ -346,6 +397,7 @@ class Tensor:
         return self._unary(
             lambda a: np.power(a, exponent),
             lambda g, a, o: g * exponent * np.power(a, exponent - 1),
+            op="pow",
         )
 
     # ------------------------------------------------------------------
@@ -366,14 +418,14 @@ class Tensor:
             out[~pos] = ea / (1.0 + ea)
             return out
 
-        return self._unary(fwd, lambda g, a, o: g * o * (1.0 - o))
+        return self._unary(fwd, lambda g, a, o: g * o * (1.0 - o), op="sigmoid")
 
     def tanh(self) -> "Tensor":
         return self._unary(np.tanh, lambda g, a, o: g * (1.0 - o * o))
 
     def relu(self) -> "Tensor":
         return self._unary(
-            lambda a: np.maximum(a, 0.0), lambda g, a, o: g * (a > 0)
+            lambda a: np.maximum(a, 0.0), lambda g, a, o: g * (a > 0), op="relu"
         )
 
     def softplus(self) -> "Tensor":
@@ -381,12 +433,14 @@ class Tensor:
         return self._unary(
             lambda a: np.logaddexp(0.0, a),
             lambda g, a, o: g * (1.0 / (1.0 + np.exp(-np.clip(a, -500, 500)))),
+            op="softplus",
         )
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         return self._unary(
             lambda a: np.clip(a, lo, hi),
             lambda g, a, o: g * ((a >= lo) & (a <= hi)),
+            op="clip",
         )
 
     # ------------------------------------------------------------------
@@ -417,7 +471,7 @@ class Tensor:
             gb = np.swapaxes(a, -1, -2) @ g
             return (ga, gb)
 
-        return self._binary(other, np.matmul, back)
+        return self._binary(other, np.matmul, back, op="matmul")
 
     __matmul__ = matmul
 
@@ -427,6 +481,7 @@ class Tensor:
         return self._unary(
             lambda a: np.transpose(a, order),
             lambda g, a, o: np.transpose(g, inverse),
+            op="transpose",
         )
 
     @property
@@ -436,7 +491,8 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         original = self.data.shape
         return self._unary(
-            lambda a: a.reshape(shape), lambda g, a, o: g.reshape(original)
+            lambda a: a.reshape(shape), lambda g, a, o: g.reshape(original),
+            op="reshape",
         )
 
     def __getitem__(self, key) -> "Tensor":
@@ -445,7 +501,7 @@ class Tensor:
             np.add.at(full, key, g)
             return full
 
-        return self._unary(lambda a: a[key], back)
+        return self._unary(lambda a: a[key], back, op="getitem")
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         def back(g, a, o):
@@ -454,7 +510,7 @@ class Tensor:
             g2 = g if keepdims else np.expand_dims(g, axis)
             return np.broadcast_to(g2, a.shape)
 
-        return self._unary(lambda a: a.sum(axis=axis, keepdims=keepdims), back)
+        return self._unary(lambda a: a.sum(axis=axis, keepdims=keepdims), back, op="sum")
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -476,12 +532,13 @@ class Tensor:
             mask /= mask.sum(axis=axis, keepdims=True)
             return g2 * mask
 
-        return self._unary(lambda a: a.max(axis=axis, keepdims=keepdims), back)
+        return self._unary(lambda a: a.max(axis=axis, keepdims=keepdims), back, op="max")
 
     def cumsum(self, axis: int = -1) -> "Tensor":
         return self._unary(
             lambda a: np.cumsum(a, axis=axis),
             lambda g, a, o: np.flip(np.cumsum(np.flip(g, axis=axis), axis=axis), axis=axis),
+            op="cumsum",
         )
 
     @staticmethod

@@ -25,9 +25,12 @@ policy installed via :class:`repro.nn.autograd.inference_dtype`.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from .autograd import Tensor, is_grad_enabled, resolve_inference_dtype
+from ..obs.registry import get_registry, obs_enabled
+from .autograd import Tensor, get_tape_hook, is_grad_enabled, resolve_inference_dtype
 
 __all__ = ["lstm_sequence", "avg_pool_1d", "max_pool_1d"]
 
@@ -69,6 +72,14 @@ def _lstm_infer(
     byte-identical to the training-mode forward.
     """
     batch, steps, _ = X.shape
+    if obs_enabled():
+        registry = get_registry()
+        registry.counter(
+            "nn.lstm_infer_calls", "graph-free fused LSTM inference calls"
+        ).inc()
+        registry.counter(
+            "nn.lstm_infer_steps", "timesteps scored by the inference lane"
+        ).inc(batch * steps)
     outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
     h = np.array(h0)
     c = np.array(c0)
@@ -131,12 +142,18 @@ def lstm_sequence(
         p.requires_grad or p._parents for p in parents
     )
 
+    hook = get_tape_hook()
+    start = time.perf_counter() if hook is not None else 0.0
+
     # One batched input projection for all timesteps (same op order as the
     # unfused path: matmul, broadcast bias add, reshape).
     x_proj = (X.reshape(batch * steps, -1) @ Wx + b).reshape(batch, steps, 4 * hidden)
 
     if not grad_mode:
-        return _lstm_infer(X, Wx, Wh, x_proj, h0, c0, hidden)
+        result = _lstm_infer(X, Wx, Wh, x_proj, h0, c0, hidden)
+        if hook is not None:
+            hook.record_forward("lstm_infer", time.perf_counter() - start)
+        return result
 
     outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
     # Activation cache for the hand-derived backward, time-major so each
@@ -169,6 +186,9 @@ def lstm_sequence(
         c_all[t] = c_new
         tc_all[t] = tc
         c = c_new
+
+    if hook is not None:
+        hook.record_forward("lstm_sequence", time.perf_counter() - start)
 
     def bptt(
         d_out: np.ndarray | None,
@@ -225,11 +245,13 @@ def lstm_sequence(
         outputs,
         _parents=tuple(parents),
         _backward=lambda grad: bptt(grad, None),
+        name="lstm_sequence",
     )
     c_t = Tensor(
         c,
         _parents=tuple(parents),
         _backward=lambda grad: bptt(None, grad),
+        name="lstm_sequence.cell",
     )
     # h_T as a slice keeps its gradient flowing through the sequence node.
     h_t = out_t[:, steps - 1, :]
@@ -254,6 +276,8 @@ def avg_pool_1d(x: Tensor, window: int) -> Tensor:
     Equivalent to :meth:`repro.nn.AvgPool1D.forward_unfused`: a trailing
     partial window is averaged over its own (shorter) length.
     """
+    hook = get_tape_hook()
+    start = time.perf_counter() if hook is not None else 0.0
     (X,) = _maybe_cast(x.data)
     full, tail, nfull, rem = _pool_split(X, window)
     pieces = []
@@ -262,6 +286,8 @@ def avg_pool_1d(x: Tensor, window: int) -> Tensor:
     if rem:
         pieces.append(tail.sum(axis=1, keepdims=True) * (1.0 / rem))
     out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    if hook is not None:
+        hook.record_forward("avg_pool_1d", time.perf_counter() - start)
 
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor(out)
@@ -278,7 +304,7 @@ def avg_pool_1d(x: Tensor, window: int) -> Tensor:
             d_x[:, nfull * window :] = np.broadcast_to(d_tail, tail.shape)
         return ((x, d_x),)
 
-    return Tensor(out, _parents=(x,), _backward=back)
+    return Tensor(out, _parents=(x,), _backward=back, name="avg_pool_1d")
 
 
 def max_pool_1d(x: Tensor, window: int) -> Tensor:
@@ -287,6 +313,8 @@ def max_pool_1d(x: Tensor, window: int) -> Tensor:
     Backward splits the gradient evenly among tied maxima within a window,
     matching the generic ``Tensor.max`` semantics.
     """
+    hook = get_tape_hook()
+    start = time.perf_counter() if hook is not None else 0.0
     (X,) = _maybe_cast(x.data)
     full, tail, nfull, rem = _pool_split(X, window)
     pieces = []
@@ -295,6 +323,8 @@ def max_pool_1d(x: Tensor, window: int) -> Tensor:
     if rem:
         pieces.append(tail.max(axis=1, keepdims=True))
     out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    if hook is not None:
+        hook.record_forward("max_pool_1d", time.perf_counter() - start)
 
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor(out)
@@ -314,4 +344,4 @@ def max_pool_1d(x: Tensor, window: int) -> Tensor:
             d_x[:, nfull * window :] = grad[:, nfull:] * tmask
         return ((x, d_x),)
 
-    return Tensor(out, _parents=(x,), _backward=back)
+    return Tensor(out, _parents=(x,), _backward=back, name="max_pool_1d")

@@ -1,0 +1,149 @@
+"""Sampling profiler for the nn autograd tape.
+
+:class:`TapeProfiler` implements the hook protocol that
+:mod:`repro.nn.autograd` (and the fused kernels) call around every tape
+node when a hook is installed: per-op-type forward time, backward time,
+and node counts.  Install it with the :func:`profile_tape` context
+manager::
+
+    with profile_tape() as prof:
+        loss = model(x).sum()
+        loss.backward()
+    print(prof.snapshot().render())
+
+``sample_every=k`` keeps node *counts* exact but only accumulates wall
+time on every k-th forward/backward of each op (scaled by ``k`` so the
+totals stay estimates of the true time) — useful when the per-node
+``perf_counter`` pair itself would distort a very hot tape.
+
+No hook installed (the default) costs the tape a single ``is None``
+branch per node; the profiler is strictly opt-in and independent of the
+metrics switch.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["OpStats", "TapeProfile", "TapeProfiler", "profile_tape"]
+
+
+@dataclass
+class OpStats:
+    """Aggregated timings for one tape op type."""
+
+    op: str
+    nodes: int = 0
+    forward_s: float = 0.0
+    backward_calls: int = 0
+    backward_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class TapeProfile:
+    """Immutable profiler snapshot."""
+
+    ops: tuple[OpStats, ...] = ()
+    sample_every: int = 1
+
+    def get(self, op: str) -> OpStats | None:
+        for stats in self.ops:
+            if stats.op == op:
+                return stats
+        return None
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(s.nodes for s in self.ops)
+
+    def render(self) -> str:
+        header = (
+            f"{'op':<20} {'nodes':>8} {'fwd ms':>10} {'bwd calls':>10} {'bwd ms':>10}"
+        )
+        lines = [header, "-" * len(header)]
+        for s in sorted(self.ops, key=lambda s: -(s.forward_s + s.backward_s)):
+            lines.append(
+                f"{s.op:<20} {s.nodes:>8} {s.forward_s * 1e3:>10.2f} "
+                f"{s.backward_calls:>10} {s.backward_s * 1e3:>10.2f}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "sample_every": self.sample_every,
+            "ops": {
+                s.op: {
+                    "nodes": s.nodes,
+                    "forward_s": s.forward_s,
+                    "backward_calls": s.backward_calls,
+                    "backward_s": s.backward_s,
+                }
+                for s in self.ops
+            },
+        }
+
+
+class TapeProfiler:
+    """Accumulates per-op-type tape statistics (thread-safe)."""
+
+    def __init__(self, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self._lock = threading.Lock()
+        self._ops: dict[str, OpStats] = {}
+
+    def _stats(self, op: str) -> OpStats:
+        stats = self._ops.get(op)
+        if stats is None:
+            stats = OpStats(op=op)
+            self._ops[op] = stats
+        return stats
+
+    # -- hook protocol (called from the autograd tape) ------------------
+    def record_forward(self, op: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stats(op)
+            stats.nodes += 1
+            if stats.nodes % self.sample_every == 0:
+                stats.forward_s += seconds * self.sample_every
+
+    def record_backward(self, op: str, seconds: float) -> None:
+        with self._lock:
+            stats = self._stats(op)
+            stats.backward_calls += 1
+            if stats.backward_calls % self.sample_every == 0:
+                stats.backward_s += seconds * self.sample_every
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TapeProfile:
+        with self._lock:
+            ops = tuple(
+                OpStats(s.op, s.nodes, s.forward_s, s.backward_calls, s.backward_s)
+                for s in self._ops.values()
+            )
+        return TapeProfile(ops=ops, sample_every=self.sample_every)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ops.clear()
+
+
+class profile_tape:
+    """Install a :class:`TapeProfiler` on the nn tape within a block."""
+
+    def __init__(self, profiler: TapeProfiler | None = None, sample_every: int = 1):
+        self.profiler = profiler or TapeProfiler(sample_every=sample_every)
+
+    def __enter__(self) -> TapeProfiler:
+        from ..nn.autograd import set_tape_hook
+
+        self._prev = set_tape_hook(self.profiler)
+        return self.profiler
+
+    def __exit__(self, *exc) -> bool:
+        from ..nn.autograd import set_tape_hook
+
+        set_tape_hook(self._prev)
+        return False

@@ -1,0 +1,460 @@
+"""Dependency-free metrics registry: counters, gauges, histograms, EWMAs.
+
+The registry is the core of ``repro.obs``: every instrumented hot path
+(trainer steps, online scoring minutes, datagram collection, scrubbing
+accounting, the fused inference lane) records into one of four metric
+kinds:
+
+* :class:`Counter`   — monotonically increasing totals,
+* :class:`Gauge`     — last-write-wins point values,
+* :class:`Histogram` — bucketed distributions with configurable upper
+  bounds (a ``+Inf`` overflow bucket is always appended),
+* :class:`Ewma`      — exponentially-weighted moving averages for rates.
+
+All metrics support labels (keyword arguments; each distinct label set is
+an independent sample series) and are thread-safe: one lock per metric
+guards every mutation, so the online loop and a trainer thread can share
+one registry.  :meth:`MetricsRegistry.snapshot` returns an immutable
+point-in-time copy (later mutations never leak into an earlier snapshot)
+and :meth:`MetricsRegistry.reset` zeroes every series while keeping the
+registrations.
+
+Telemetry is **disabled by default**: instrumentation sites guard on
+:func:`obs_enabled`, so a run that never calls :func:`set_enabled` (or
+enters the :class:`telemetry` context) pays only an attribute load and a
+branch per hot-path call.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Ewma",
+    "MetricsRegistry",
+    "MetricSnapshot",
+    "MetricsSnapshot",
+    "get_registry",
+    "obs_enabled",
+    "set_enabled",
+    "telemetry",
+]
+
+# Log-spaced seconds buckets: 1 ms up to 10 s, then +Inf.  Suits both a
+# train step (tens of ms at bench scale) and a full online scoring minute.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_INF = float("inf")
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared plumbing: name, help text, per-label-set sample map."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+        self._samples: dict[LabelKey, object] = {}
+
+    def _sample(self, labels: dict[str, str]):
+        """Get-or-create the per-label-set state (caller holds the lock)."""
+        key = _label_key(labels)
+        state = self._samples.get(key)
+        if state is None:
+            state = self._new_state()
+            self._samples[key] = state
+        return state
+
+    def _new_state(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labeled_values(self) -> list[tuple[LabelKey, object]]:
+        with self._lock:
+            return [(k, self._copy_state(v)) for k, v in sorted(self._samples.items())]
+
+    @staticmethod
+    def _copy_state(state):
+        return state
+
+    def reset(self) -> None:
+        with self._lock:
+            self._samples.clear()
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _new_state(self) -> list[float]:
+        return [0.0]
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge for deltas")
+        with self._lock:
+            self._sample(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            state = self._samples.get(_label_key(labels))
+            return state[0] if state else 0.0
+
+    @staticmethod
+    def _copy_state(state):
+        return state[0]
+
+
+class Gauge(_Metric):
+    """A point-in-time value (last write wins)."""
+
+    kind = "gauge"
+
+    def _new_state(self) -> list[float]:
+        return [0.0]
+
+    def set(self, value: float, **labels: str) -> None:
+        with self._lock:
+            self._sample(labels)[0] = float(value)
+
+    def add(self, amount: float, **labels: str) -> None:
+        with self._lock:
+            self._sample(labels)[0] += amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            state = self._samples.get(_label_key(labels))
+            return state[0] if state else 0.0
+
+    @staticmethod
+    def _copy_state(state):
+        return state[0]
+
+
+@dataclass
+class _HistogramState:
+    counts: list[int]
+    sum: float = 0.0
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """Immutable histogram sample: per-bucket (non-cumulative) counts."""
+
+    buckets: tuple[float, ...]  # upper bounds; last is +Inf
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+
+    def quantile(self, q: float) -> float:
+        """Crude bucket-midpoint quantile estimate (for the console view)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        lo = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            seen += n
+            if seen >= target and n > 0:
+                if bound == _INF:
+                    return lo
+                return (lo + bound) / 2.0
+            if bound != _INF:
+                lo = bound
+        return lo
+
+
+class Histogram(_Metric):
+    """A bucketed distribution.
+
+    ``buckets`` are *upper* bounds (``value <= bound`` lands in that
+    bucket, matching Prometheus ``le`` semantics); they are sorted and a
+    ``+Inf`` bucket is appended automatically.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a histogram needs at least one finite bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        if bounds[-1] != _INF:
+            bounds = bounds + (_INF,)
+        self.buckets = bounds
+
+    def _new_state(self) -> _HistogramState:
+        return _HistogramState(counts=[0] * len(self.buckets))
+
+    def observe(self, value: float, **labels: str) -> None:
+        value = float(value)
+        # bisect_left over the bounds: first bucket with bound >= value,
+        # i.e. the smallest ``le`` that admits the value — values exactly
+        # on a boundary land in that boundary's bucket.
+        idx = bisect_left(self.buckets, value)
+        with self._lock:
+            state = self._sample(labels)
+            state.counts[idx] += 1
+            state.sum += value
+            state.count += 1
+
+    def value(self, **labels: str) -> HistogramValue:
+        with self._lock:
+            state = self._samples.get(_label_key(labels))
+            if state is None:
+                return HistogramValue(self.buckets, (0,) * len(self.buckets), 0.0, 0)
+            return self._copy_state(state)
+
+    def _copy_state(self, state: _HistogramState) -> HistogramValue:
+        return HistogramValue(
+            self.buckets, tuple(state.counts), state.sum, state.count
+        )
+
+
+@dataclass
+class _EwmaState:
+    value: float = 0.0
+    count: int = 0
+
+
+@dataclass(frozen=True)
+class EwmaValue:
+    """Immutable EWMA sample."""
+
+    value: float
+    alpha: float
+    count: int
+
+
+class Ewma(_Metric):
+    """Exponentially-weighted moving average (rate meter).
+
+    ``observe(x)`` folds a new observation in with weight ``alpha``; the
+    first observation seeds the average directly.  Feed it per-interval
+    rates (flows/minute, examples/second) to get a smoothed gauge.
+    """
+
+    kind = "ewma"
+
+    def __init__(self, name: str, help: str = "", alpha: float = 0.3) -> None:
+        super().__init__(name, help)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+
+    def _new_state(self) -> _EwmaState:
+        return _EwmaState()
+
+    def observe(self, value: float, **labels: str) -> None:
+        value = float(value)
+        with self._lock:
+            state = self._sample(labels)
+            if state.count == 0:
+                state.value = value
+            else:
+                state.value = self.alpha * value + (1.0 - self.alpha) * state.value
+            state.count += 1
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            state = self._samples.get(_label_key(labels))
+            return state.value if state else 0.0
+
+    def _copy_state(self, state: _EwmaState) -> EwmaValue:
+        return EwmaValue(state.value, self.alpha, state.count)
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """One metric's frozen series: name, kind, and per-label-set values."""
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple[tuple[LabelKey, object], ...]
+
+    def value(self, **labels: str):
+        key = _label_key(labels)
+        for k, v in self.samples:
+            if k == key:
+                return v
+        return None
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A frozen point-in-time copy of a whole registry."""
+
+    metrics: tuple[MetricSnapshot, ...] = ()
+
+    def __iter__(self):
+        return iter(self.metrics)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def get(self, name: str) -> MetricSnapshot | None:
+        for m in self.metrics:
+            if m.name == name:
+                return m
+        return None
+
+    def names(self) -> list[str]:
+        return [m.name for m in self.metrics]
+
+
+class MetricsRegistry:
+    """Named metric store with get-or-create accessors.
+
+    Re-requesting a name returns the existing metric; requesting it as a
+    different kind (or a histogram with different buckets) raises, so two
+    instrumentation sites cannot silently fight over one series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, help, **kwargs)
+                self._metrics[name] = metric
+                return metric
+        if type(metric) is not cls:
+            raise TypeError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        if cls is Histogram and "buckets" in kwargs:
+            wanted = tuple(sorted(float(b) for b in kwargs["buckets"]))
+            if wanted[-1] != _INF:
+                wanted = wanted + (_INF,)
+            if wanted != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} already registered with different buckets"
+                )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def ewma(self, name: str, help: str = "", alpha: float = 0.3) -> Ewma:
+        return self._get_or_create(Ewma, name, help, alpha=alpha)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Deep-copied, immutable view; later mutations never affect it."""
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return MetricsSnapshot(
+            metrics=tuple(
+                MetricSnapshot(
+                    name=name,
+                    kind=m.kind,
+                    help=m.help,
+                    samples=tuple(m.labeled_values()),
+                )
+                for name, m in metrics
+            )
+        )
+
+    def reset(self) -> None:
+        """Zero every series; registrations (and bucket layouts) survive."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for m in metrics:
+            m.reset()
+
+
+# ----------------------------------------------------------------------
+# the global switch and registry
+# ----------------------------------------------------------------------
+_ENABLED = False
+_REGISTRY = MetricsRegistry()
+
+
+def obs_enabled() -> bool:
+    """Whether instrumentation sites should record telemetry."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the global telemetry switch; returns the previous state."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(flag)
+    return previous
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumentation site records into."""
+    return _REGISTRY
+
+
+class telemetry:
+    """Enable (or explicitly disable) telemetry within a ``with`` block::
+
+        with telemetry():
+            trainer.fit(samples)
+
+    The previous switch state is restored on exit, raising included.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+
+    def __enter__(self) -> MetricsRegistry:
+        self._prev = set_enabled(self._enabled)
+        return _REGISTRY
+
+    def __exit__(self, *exc) -> bool:
+        set_enabled(self._prev)
+        return False

@@ -1,0 +1,214 @@
+"""Span-based tracing: a hierarchical wall-clock timing tree.
+
+``with trace("train.step"):`` (or ``@trace("train.step")`` as a
+decorator) opens a *span*.  Spans nest: each distinct call path gets its
+own node in a tree keyed by span name, aggregating call count and total
+wall time; exclusive time (total minus the time spent in child spans) is
+derived at snapshot time.  Re-entrancy is natural — a recursive span
+simply appears as its own child.
+
+Spans are exception-safe (the span is closed and accounted even when the
+body raises) and honour the global telemetry switch: when telemetry is
+disabled, entering a span is a no-op costing one branch.
+
+Each thread tracks its own span stack; the aggregated tree is shared and
+lock-guarded, so multi-threaded tracing composes.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from .registry import obs_enabled
+
+__all__ = ["SpanNode", "Tracer", "get_tracer", "trace"]
+
+
+class _Node:
+    __slots__ = ("name", "calls", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.children: dict[str, _Node] = {}
+
+
+@dataclass(frozen=True)
+class SpanNode:
+    """Immutable snapshot of one span-tree node."""
+
+    name: str
+    calls: int
+    total_s: float
+    children: tuple["SpanNode", ...] = ()
+
+    @property
+    def child_s(self) -> float:
+        return sum(c.total_s for c in self.children)
+
+    @property
+    def exclusive_s(self) -> float:
+        """Wall time spent in this span but not in any child span."""
+        return max(0.0, self.total_s - self.child_s)
+
+    def find(self, name: str) -> "SpanNode | None":
+        """Depth-first lookup of the first node with ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def render(self, indent: int = 0) -> str:
+        lines = []
+        if self.name:
+            lines.append(
+                f"{'  ' * indent}{self.name:<{max(1, 40 - 2 * indent)}} "
+                f"{self.calls:>6}  {self.total_s * 1e3:>10.2f}  "
+                f"{self.exclusive_s * 1e3:>10.2f}"
+            )
+            indent += 1
+        for child in sorted(self.children, key=lambda c: -c.total_s):
+            lines.append(child.render(indent))
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "exclusive_s": self.exclusive_s,
+            "children": [c.to_json() for c in self.children],
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "SpanNode":
+        return SpanNode(
+            name=payload["name"],
+            calls=int(payload["calls"]),
+            total_s=float(payload["total_s"]),
+            children=tuple(
+                SpanNode.from_json(c) for c in payload.get("children", ())
+            ),
+        )
+
+
+class Tracer:
+    """Aggregating span tracer with per-thread stacks and a shared tree."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._root = _Node("")
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[_Node]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self._root]
+            self._local.stack = stack
+        return stack
+
+    def _enter(self, name: str) -> _Node:
+        stack = self._stack()
+        parent = stack[-1]
+        with self._lock:
+            node = parent.children.get(name)
+            if node is None:
+                node = _Node(name)
+                parent.children[name] = node
+        stack.append(node)
+        return node
+
+    def _exit(self, node: _Node, elapsed: float) -> None:
+        stack = self._stack()
+        # Pop back to (and including) our node even if an inner span leaked.
+        while len(stack) > 1:
+            popped = stack.pop()
+            if popped is node:
+                break
+        with self._lock:
+            node.calls += 1
+            node.total_s += elapsed
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> "_SpanContext":
+        return _SpanContext(self, name)
+
+    def snapshot(self) -> SpanNode:
+        """Frozen copy of the aggregated tree (root has an empty name)."""
+        with self._lock:
+            return _freeze(self._root)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._root = _Node("")
+        # Dangling per-thread stacks would mutate the old tree harmlessly;
+        # fresh stacks are rebuilt rooted at the new tree on first use.
+        self._local = threading.local()
+
+
+def _freeze(node: _Node) -> SpanNode:
+    return SpanNode(
+        name=node.name,
+        calls=node.calls,
+        total_s=node.total_s,
+        children=tuple(_freeze(c) for c in node.children.values()),
+    )
+
+
+class _SpanContext:
+    """Context manager *and* decorator for one named span."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_start")
+
+    def __init__(self, tracer: Tracer, name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._node: _Node | None = None
+
+    def __enter__(self) -> "_SpanContext":
+        if obs_enabled():
+            self._node = self._tracer._enter(self._name)
+            self._start = time.perf_counter()
+        else:
+            self._node = None
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        # Close the span even when the body raised (``exc`` is non-empty).
+        if self._node is not None:
+            elapsed = time.perf_counter() - self._start
+            self._tracer._exit(self._node, elapsed)
+            self._node = None
+        return False
+
+    def __call__(self, func: Callable) -> Callable:
+        tracer, name = self._tracer, self._name
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            with _SpanContext(tracer, name):
+                return func(*args, **kwargs)
+
+        return wrapper
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer used by :func:`trace`."""
+    return _TRACER
+
+
+def trace(name: str) -> _SpanContext:
+    """Open a span on the global tracer (context manager or decorator)."""
+    return _TRACER.span(name)

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import get_registry, obs_enabled, trace as obs_trace
 from ..synth.scenario import AttackEvent, Trace
 
 __all__ = ["DiversionWindow", "ScrubbingCenter", "ScrubbingReport"]
@@ -106,6 +107,10 @@ class ScrubbingCenter:
         (benign traffic during diversion, and any diversion outside attack
         windows).
         """
+        with obs_trace("scrub.account"):
+            return self._account(windows)
+
+    def _account(self, windows: list[DiversionWindow]) -> ScrubbingReport:
         trace = self.trace
         report = ScrubbingReport()
         horizon = trace.horizon
@@ -172,4 +177,19 @@ class ScrubbingCenter:
                 0.0, total_diverted - anomalous_diverted
             )
             report.customer_anomalous.setdefault(customer_id, 0.0)
+
+        if obs_enabled():
+            registry = get_registry()
+            registry.counter(
+                "scrub.diversion_windows", "diversion windows accounted"
+            ).inc(len(windows))
+            registry.counter(
+                "scrub.diverted_minutes", "customer-minutes under diversion"
+            ).inc(int(sum(int(m.sum()) for m in diverted.values())))
+            registry.counter(
+                "scrub.anomalous_bytes_diverted", "area B: anomalous bytes scrubbed"
+            ).inc(int(sum(b for _, b in report.event_area.values())))
+            registry.counter(
+                "scrub.extraneous_bytes", "area C: extraneous bytes diverted"
+            ).inc(int(sum(report.customer_extraneous.values())))
         return report
