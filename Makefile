@@ -4,7 +4,7 @@
 PY := PYTHONPATH=src python
 
 .PHONY: verify test fast golden-check golden-record bench bench-full \
-        bench-check metrics-selftest telemetry
+        bench-check metrics-selftest telemetry serve-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -40,5 +40,21 @@ metrics-selftest:
 telemetry:
 	$(PY) -m repro.cli pipeline --epochs 2 --telemetry /tmp/repro-telemetry.json
 	$(PY) -m repro.cli metrics /tmp/repro-telemetry.json
+
+# Serving-engine smoke (docs/SERVING.md): the same replayed deployment
+# twice — once uninterrupted, once with an induced crash + restore at
+# minute 180 — then a byte-identity check on the two merged alert
+# streams (the crash-equivalence guarantee).
+serve-smoke:
+	rm -rf /tmp/repro-serve && mkdir -p /tmp/repro-serve
+	$(PY) -m repro.cli serve --days 3 --customers 6 --epochs 1 --shards 2 \
+	    --threshold 0.95 --alerts-out /tmp/repro-serve/alerts-base.json
+	$(PY) -m repro.cli serve --days 3 --customers 6 --epochs 1 --shards 2 \
+	    --threshold 0.95 --checkpoint-dir /tmp/repro-serve/ckpt \
+	    --checkpoint-every 60 --restart-at 180 \
+	    --telemetry /tmp/repro-serve/telemetry.json \
+	    --alerts-out /tmp/repro-serve/alerts-restart.json
+	cmp /tmp/repro-serve/alerts-base.json /tmp/repro-serve/alerts-restart.json
+	@echo "crash-equivalence holds: alert streams byte-identical"
 
 verify: test golden-check metrics-selftest

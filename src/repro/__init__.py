@@ -18,7 +18,12 @@ Top-level subpackages
 ``repro.core``     the Xatu model, trainer, online detector, pipeline
 ``repro.metrics``  summary statistics and ROC
 ``repro.eval``     per-figure/table experiment runners
+``repro.serve``    sharded, checkpointable online serving engine
 ``repro.obs``      metrics/tracing/profiling telemetry (off by default)
+
+The stable public surface (documented in docs/API.md) is re-exported
+here: the :class:`Detector` protocol plus the typed configs
+:class:`OnlineConfig` and :class:`ServeConfig`.
 """
 
 __version__ = "1.0.0"
@@ -32,12 +37,20 @@ from . import (
     nn,
     obs,
     scrub,
+    serve,
     signals,
     survival,
     synth,
 )
+from .core.online import OnlineConfig, OnlineXatu
+from .detect.api import Alert, Detector
+from .serve.config import ServeConfig
+from .serve.engine import ServeEngine
 
 __all__ = [
     "nn", "netflow", "synth", "signals", "detect", "forest", "scrub",
-    "survival", "core", "metrics", "obs", "__version__",
+    "survival", "core", "metrics", "serve", "obs",
+    "Alert", "Detector", "OnlineConfig", "OnlineXatu",
+    "ServeConfig", "ServeEngine",
+    "__version__",
 ]

@@ -20,6 +20,13 @@ Each case builds identical workloads for the fused and unfused variants
 * ``train_epoch_obs``   — the ``train_epoch`` workload with telemetry
   disabled vs enabled (``repro.obs``); the enabled/disabled ratio bounds
   the instrumentation overhead (<3% budget, see docs/OBSERVABILITY.md).
+* ``serve_minutes``     — minute-scoring throughput through the
+  :class:`~repro.serve.ServeEngine`: the "fused" variant runs 4 shards on
+  the process backend, the "unfused" variant a single inline shard, so
+  the speedup column reads as the sharding win.  The merged alert stream
+  is identical either way (tests assert it); only the wall-clock moves,
+  and only on multi-core hosts — on a single core the process backend
+  pays IPC for no parallelism and the ratio honestly dips below 1.
 
 ``run_all(smoke=True)`` shrinks every size so the whole suite finishes in
 a few seconds — that is what ``make bench`` / CI run to keep the perf
@@ -45,6 +52,7 @@ BENCH_CASES = (
     "synthetic_day",
     "day_scoring_f32",
     "train_epoch_obs",
+    "serve_minutes",
 )
 
 
@@ -55,6 +63,7 @@ def _sizes(smoke: bool) -> dict[str, dict]:
             "pooling": {"batch": 2, "steps": 130, "features": 16, "window": 10},
             "train_epoch": {"n_samples": 8, "batch_size": 4, "n_features": 12},
             "synthetic_day": {"day_minutes": 60, "n_features": 12},
+            "serve_minutes": {"customers": 4, "minutes": 2, "flows_per_customer": 2, "shards": 2},
         }
     return {
         # LSTM_long unrolls 240 steps (paper §4/Fig. 6); hidden 32 is the
@@ -63,6 +72,7 @@ def _sizes(smoke: bool) -> dict[str, dict]:
         "pooling": {"batch": 8, "steps": 1430, "features": 64, "window": 60},
         "train_epoch": {"n_samples": 24, "batch_size": 8, "n_features": 24},
         "synthetic_day": {"day_minutes": 480, "n_features": 24},
+        "serve_minutes": {"customers": 16, "minutes": 4, "flows_per_customer": 4, "shards": 4},
     }
 
 
@@ -188,6 +198,82 @@ def _make_synthetic_day(sizes: dict, fused: bool, dtype=None):
     return score_day
 
 
+def _make_serve_minutes(sizes: dict, sharded: bool):
+    """Minute-scoring throughput through the serving engine.
+
+    ``sharded`` runs the configured shard count on the process backend;
+    otherwise a single inline shard does all the scoring.  The workload
+    (customers, flows, model) is identical, so the ratio isolates the
+    sharding/backend cost-benefit.
+    """
+    from dataclasses import replace as replace_record
+
+    from ..core.model import XatuModel
+    from ..core.online import OnlineXatu
+    from ..netflow.records import FlowRecord
+    from ..netflow.routing import RouteTable
+    from ..serve import ServeConfig, ServeEngine
+    from ..signals.features import N_FEATURES, FeatureScaler
+
+    s = sizes["serve_minutes"]
+    config = _bench_model_config(N_FEATURES)
+    scaler = FeatureScaler()
+    scaler.mean_ = np.zeros(N_FEATURES)
+    scaler.std_ = np.ones(N_FEATURES)
+    route_table = RouteTable()
+    route_table.announce((0, 2**32 - 1), origin_asn=1)
+    customer_of = {10_000 + i: i for i in range(s["customers"])}
+
+    def factory(partition):
+        model = XatuModel(config)
+        model.eval()
+        return OnlineXatu(
+            model=model,
+            scaler=scaler,
+            threshold=0.5,
+            customer_of=partition,
+            blocklist=set(),
+            route_table=route_table,
+        )
+
+    engine = ServeEngine(
+        factory,
+        customer_of,
+        ServeConfig(
+            shards=s["shards"] if sharded else 1,
+            backend="process" if sharded else "inline",
+        ),
+    )
+    rng = np.random.default_rng(4)
+    templates = [
+        FlowRecord(
+            timestamp=0,
+            src_addr=int(rng.integers(1, 2**31)),
+            dst_addr=address,
+            src_port=int(rng.integers(1024, 65535)),
+            dst_port=443,
+            protocol=6,
+            packets=int(rng.integers(1, 50)),
+            bytes_=int(rng.integers(100, 50_000)),
+        )
+        for address in customer_of
+        for _ in range(s["flows_per_customer"])
+    ]
+    clock = {"minute": -1}
+
+    def run_minutes():
+        for _ in range(s["minutes"]):
+            clock["minute"] += 1
+            minute = clock["minute"]
+            engine.ingest_flows(
+                [replace_record(f, timestamp=minute) for f in templates]
+            )
+            engine.tick(minute)
+            engine.poll_alerts()
+
+    return run_minutes
+
+
 _BUILDERS = {
     "lstm_forward": _make_lstm_forward,
     "lstm_train_step": _make_lstm_train_step,
@@ -219,6 +305,15 @@ def run_all(
         if case == "train_epoch_obs":
             for variant, enabled in (("disabled", False), ("enabled", True)):
                 fn = _make_train_epoch_obs(sizes, enabled)
+                report.add(
+                    BenchTiming(case, variant, tuple(time_callable(fn, reps, warmup)))
+                )
+            continue
+        if case == "serve_minutes":
+            # "fused" = sharded (process backend), "unfused" = one inline
+            # shard — so speedups() reports the sharding win directly.
+            for variant, sharded in (("fused", True), ("unfused", False)):
+                fn = _make_serve_minutes(sizes, sharded)
                 report.add(
                     BenchTiming(case, variant, tuple(time_callable(fn, reps, warmup)))
                 )

@@ -12,6 +12,9 @@ Commands
                ``BENCH_<tag>.json`` (docs/PERFORMANCE.md); ``--check``
                compares against the committed baseline (host mismatches
                warn rather than fail).
+``serve``    — run the sharded, checkpointable serving engine over a
+               replayed deployment (``--shards``, ``--checkpoint-dir``,
+               ``--restart-at``; see docs/SERVING.md).
 ``metrics``  — render a ``--telemetry`` JSON file (top-style table,
                Prometheus exposition, or raw JSON), or ``--selftest``
                the exporters.
@@ -172,20 +175,25 @@ def cmd_pipeline(args) -> int:
         from .obs import set_enabled
 
         set_enabled(True)
-    pipeline = XatuPipeline(_build_pipeline_config(args))
-    result = pipeline.run()
-    print(f"threshold        {result.calibration.threshold:.3g}")
-    print(f"effectiveness    median {result.effectiveness.median:.1%} "
-          f"(p10 {result.effectiveness.low:.1%}, p90 {result.effectiveness.high:.1%})")
-    print(f"detection delay  median {result.delay.median:+.1f} min")
-    print(f"overhead         p75 {result.overhead.high:.2%} "
-          f"(bound {args.overhead_bound:.2%})")
-    print(f"alerts           {len(result.detection.alerts)} "
-          f"({sum(1 for a in result.detection.alerts if a.event_id >= 0)} matched)")
-    if telemetry_path:
-        _replay_online_minutes(pipeline)
-        _write_cli_telemetry(telemetry_path)
-        set_enabled(False)
+    # try/finally: a raising run must not leave the process-global
+    # telemetry switch enabled for whoever imports repro next.
+    try:
+        pipeline = XatuPipeline(_build_pipeline_config(args))
+        result = pipeline.run()
+        print(f"threshold        {result.calibration.threshold:.3g}")
+        print(f"effectiveness    median {result.effectiveness.median:.1%} "
+              f"(p10 {result.effectiveness.low:.1%}, p90 {result.effectiveness.high:.1%})")
+        print(f"detection delay  median {result.delay.median:+.1f} min")
+        print(f"overhead         p75 {result.overhead.high:.2%} "
+              f"(bound {args.overhead_bound:.2%})")
+        print(f"alerts           {len(result.detection.alerts)} "
+              f"({sum(1 for a in result.detection.alerts if a.event_id >= 0)} matched)")
+        if telemetry_path:
+            _replay_online_minutes(pipeline)
+            _write_cli_telemetry(telemetry_path)
+    finally:
+        if telemetry_path:
+            set_enabled(False)
     return 0
 
 
@@ -214,24 +222,27 @@ def cmd_train(args) -> int:
         from .obs import set_enabled
 
         set_enabled(True)
-    trace = TraceGenerator(_build_scenario(args)).generate()
-    alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
-    extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
-    registry = XatuModelRegistry(
-        bench_model_config(),
-        TrainConfig(epochs=args.epochs, batch_size=8, learning_rate=3e-3),
-    )
-    split = int(trace.horizon * 0.7)
-    entries = registry.train(trace, extractor, alerts, (0, split), (split, trace.horizon))
-    registry.save(args.out)
-    print(f"saved {len(entries)} models to {args.out}:")
-    for key, entry in entries.items():
-        losses = entry.train_result.train_losses if entry.train_result else []
-        trend = f"{losses[0]:.3f}->{losses[-1]:.3f}" if losses else "n/a"
-        print(f"  {key:<18} events={entry.n_train_events:<4} loss {trend}")
-    if telemetry_path:
-        _write_cli_telemetry(telemetry_path)
-        set_enabled(False)
+    try:
+        trace = TraceGenerator(_build_scenario(args)).generate()
+        alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
+        extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
+        registry = XatuModelRegistry(
+            bench_model_config(),
+            TrainConfig(epochs=args.epochs, batch_size=8, learning_rate=3e-3),
+        )
+        split = int(trace.horizon * 0.7)
+        entries = registry.train(trace, extractor, alerts, (0, split), (split, trace.horizon))
+        registry.save(args.out)
+        print(f"saved {len(entries)} models to {args.out}:")
+        for key, entry in entries.items():
+            losses = entry.train_result.train_losses if entry.train_result else []
+            trend = f"{losses[0]:.3f}->{losses[-1]:.3f}" if losses else "n/a"
+            print(f"  {key:<18} events={entry.n_train_events:<4} loss {trend}")
+        if telemetry_path:
+            _write_cli_telemetry(telemetry_path)
+    finally:
+        if telemetry_path:
+            set_enabled(False)
     return 0
 
 
@@ -303,12 +314,15 @@ def cmd_bench(args) -> int:
         from .obs import set_enabled
 
         set_enabled(True)
-    report = run_all(
-        tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
-    )
-    if telemetry_path:
-        _write_cli_telemetry(telemetry_path)
-        set_enabled(False)
+    try:
+        report = run_all(
+            tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
+        )
+        if telemetry_path:
+            _write_cli_telemetry(telemetry_path)
+    finally:
+        if telemetry_path:
+            set_enabled(False)
     print(report.render())
     status = 0
     if args.check:
@@ -343,6 +357,170 @@ def cmd_bench(args) -> int:
         print(f"telemetry overhead ({name}): {frac:+.1%} — "
               f"{verdict} the {budget:.0%} budget")
     return status
+
+
+def cmd_serve(args) -> int:
+    """Run the sharded serving engine over a replayed synthetic deployment.
+
+    Quick-trains a model registry on the scenario (or loads one from
+    ``--models``), then streams the trace through the datagram codec into
+    a :class:`~repro.serve.ServeEngine` — periodic checkpoints, optional
+    induced restart (``--restart-at``), incumbent alerts broadcast to all
+    shards, and a merged ordered alert stream (``--alerts-out``).
+    """
+    import json
+    import time as time_mod
+
+    from .core import (
+        OnlineXatu,
+        TrainConfig,
+        XatuModel,
+        XatuModelRegistry,
+        alerts_to_records,
+    )
+    from .detect import NetScoutDetector
+    from .eval.presets import bench_model_config
+    from .netflow import DatagramCodec
+    from .serve import ServeConfig, ServeEngine
+    from .signals import FeatureExtractor
+    from .synth import TraceGenerator, TraceReplayer
+
+    telemetry_path = getattr(args, "telemetry", None)
+    if telemetry_path:
+        from .obs import set_enabled
+
+        set_enabled(True)
+    try:
+        trace = TraceGenerator(_build_scenario(args)).generate()
+        cdet_alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
+        if args.models:
+            registry = XatuModelRegistry.load(args.models)
+        else:
+            extractor = FeatureExtractor(
+                trace, alerts=alerts_to_records(trace, cdet_alerts)
+            )
+            registry = XatuModelRegistry(
+                bench_model_config(),
+                TrainConfig(epochs=args.epochs, batch_size=8, learning_rate=3e-3),
+            )
+            split = int(trace.horizon * 0.7)
+            registry.train(
+                trace, extractor, cdet_alerts, (0, split), (split, trace.horizon)
+            )
+        entry = registry.entry_for(None)
+        threshold = args.threshold if args.threshold is not None else entry.threshold
+        world = trace.world
+        blocklist = set()
+        for botnet in world.botnets:
+            blocklist.update(int(a) for a in botnet.blocklisted_members)
+        customer_of = {c.address: c.customer_id for c in world.customers}
+        base_rate_of = {c.customer_id: c.base_rate_bytes for c in world.customers}
+        model_state = entry.model.state_dict()
+        model_config = entry.model.config
+
+        def factory(partition):
+            # Every shard gets its own model object (same weights), so the
+            # thread/process backends never share mutable nn state.
+            model = XatuModel(model_config)
+            model.load_state_dict(model_state)
+            model.eval()
+            return OnlineXatu(
+                model=model,
+                scaler=entry.scaler,
+                threshold=threshold,
+                customer_of=partition,
+                blocklist=blocklist,
+                route_table=world.route_table,
+                base_rate_of=base_rate_of,
+            )
+
+        config = ServeConfig(
+            shards=args.shards,
+            backend=args.backend,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+        )
+        if args.restart_at is not None and args.checkpoint_dir is None:
+            print("serve: --restart-at requires --checkpoint-dir")
+            return 2
+
+        horizon = trace.horizon if args.minutes is None else min(
+            args.minutes, trace.horizon
+        )
+        records = alerts_to_records(trace, cdet_alerts)
+        by_detect: dict[int, list] = {}
+        for record in records:
+            by_detect.setdefault(record.detect_minute, []).append(record)
+        ends = [(r.customer_id, r.end_minute) for r in records]
+        by_end: dict[int, list] = {}
+        for customer_id, end_minute in ends:
+            by_end.setdefault(end_minute, []).append(customer_id)
+
+        engine = ServeEngine(factory, customer_of, config)
+        codec = DatagramCodec(engine_id=1)
+        merged = []
+        datagram_index = 0
+        start_wall = time_mod.perf_counter()
+        for minute, flows in TraceReplayer(trace, seed=0).replay(0, horizon):
+            for lo in range(0, len(flows), 30):
+                blob = codec.encode(flows[lo : lo + 30], unix_secs=minute * 60)
+                datagram_index += 1
+                if datagram_index % 17 == 0:
+                    continue  # simulated export loss (exercises feed health)
+                engine.ingest_datagram(blob)
+            for record in by_detect.get(minute, []):
+                engine.ingest_cdet_alert(record)
+            for customer_id in by_end.get(minute, []):
+                engine.ingest_mitigation_end(customer_id, minute)
+            engine.tick(minute)
+            merged.extend(engine.poll_alerts())
+            if args.restart_at is not None and minute == args.restart_at:
+                engine.checkpoint()
+                engine.close()
+                print(f"induced restart at minute {minute}: "
+                      f"rebuilding engine from checkpoint")
+                engine = ServeEngine(factory, customer_of, config)
+                restored = engine.restore()
+                print(f"restored minute {restored}")
+        elapsed = time_mod.perf_counter() - start_wall
+        if args.checkpoint_dir:
+            final = engine.checkpoint()
+            print(f"final checkpoint  {final}")
+        stats = engine.stats()
+        health = engine.feed_health()
+        engine.close()
+
+        if args.alerts_out:
+            lines = [
+                json.dumps(
+                    {"minute": a.minute, "customer": a.customer_id,
+                     "survival": a.survival},
+                    sort_keys=True,
+                )
+                for a in merged
+            ]
+            from pathlib import Path
+
+            Path(args.alerts_out).write_text("\n".join(lines) + "\n")
+            print(f"wrote {len(merged)} alerts to {args.alerts_out}")
+        print(f"served            {horizon} minutes on {args.shards} shard(s) "
+              f"[{args.backend}] in {elapsed:.2f}s "
+              f"({horizon / elapsed:.1f} min/s)")
+        print(f"alerts            {len(merged)} merged "
+              f"({stats['alerts_suppressed']} suppressed)")
+        print(f"feed health       {health.records_received} records, "
+              f"{health.records_lost} lost ({health.loss_rate:.1%}), "
+              f"{stats['degraded_minutes']} degraded minute(s)")
+        print(f"shards healthy    {stats['healthy_shards']}/{stats['shards']}, "
+              f"{stats['checkpoints_written']} checkpoint(s)")
+        if telemetry_path:
+            _write_cli_telemetry(telemetry_path)
+    finally:
+        if telemetry_path:
+            from .obs import set_enabled
+
+            set_enabled(False)
+    return 0
 
 
 def cmd_metrics(args) -> int:
@@ -471,6 +649,47 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable repro.obs during the run and write the "
                        "telemetry snapshot to this JSON file")
     bench.set_defaults(func=cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sharded, checkpointable serving engine over a replay",
+        description="Streaming deployment: shard the customer universe, "
+        "feed minute batches through the flow collector, merge per-shard "
+        "alerts into one ordered stream, checkpoint/restore the full "
+        "online state (see docs/SERVING.md).",
+    )
+    serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument("--config", default=None,
+                       help="JSON scenario config file (overrides size flags)")
+    serve.add_argument("--days", type=float, default=4.0,
+                       help="compressed days (120 minutes each; must exceed "
+                       "the scenario's 2 prep days)")
+    serve.add_argument("--customers", type=int, default=8)
+    serve.add_argument("--epochs", type=int, default=2,
+                       help="quick-training epochs when no --models given")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="worker shards (customer_id %% shards)")
+    serve.add_argument("--backend", choices=["inline", "thread", "process"],
+                       default="inline", help="shard execution backend")
+    serve.add_argument("--checkpoint-dir", default=None,
+                       help="directory for versioned state checkpoints")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       help="snapshot every N minutes (0 disables periodic)")
+    serve.add_argument("--restart-at", type=int, default=None, metavar="MINUTE",
+                       help="induce a kill+restore at this minute "
+                       "(requires --checkpoint-dir)")
+    serve.add_argument("--minutes", type=int, default=None,
+                       help="serve only the first N minutes of the trace")
+    serve.add_argument("--threshold", type=float, default=None,
+                       help="override the calibrated survival threshold")
+    serve.add_argument("--models", default=None,
+                       help="load a saved model registry instead of training")
+    serve.add_argument("--alerts-out", default=None, metavar="PATH",
+                       help="write the merged alert stream as JSON lines")
+    serve.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="enable repro.obs during the run and write the "
+                       "telemetry snapshot to this JSON file")
+    serve.set_defaults(func=cmd_serve)
 
     metrics = sub.add_parser(
         "metrics",

@@ -10,7 +10,7 @@ from .pipeline import (
     XatuPipeline,
     alerts_to_records,
 )
-from .online import OnlineAlert, OnlineXatu
+from .online import OnlineAlert, OnlineConfig, OnlineXatu
 from .registry import TypedModelEntry, XatuModelRegistry
 from .trainer import TrainConfig, TrainResult, XatuTrainer
 
@@ -22,5 +22,5 @@ __all__ = [
     "SplitSpec", "PipelineConfig", "PipelineResult", "XatuPipeline",
     "alerts_to_records",
     "TypedModelEntry", "XatuModelRegistry",
-    "OnlineAlert", "OnlineXatu",
+    "OnlineAlert", "OnlineConfig", "OnlineXatu",
 ]

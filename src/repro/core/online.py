@@ -21,11 +21,14 @@ margin is discarded each minute.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from ..detect.api import infer_minute
 from ..netflow.matrix import (
     SOURCE_CLASS_BLOCKLIST,
     SOURCE_CLASS_PREV_ATTACKER,
@@ -34,6 +37,7 @@ from ..netflow.matrix import (
 )
 from ..netflow.records import FlowRecord
 from ..netflow.routing import RouteTable
+from ..nn.serialization import state_from_bytes, state_to_bytes
 from ..obs import get_registry, obs_enabled, trace
 from ..signals.clustering import AttackerCustomerGraph
 from ..signals.features import N_FEATURES, FeatureScaler, group_slices
@@ -41,7 +45,7 @@ from ..signals.history import AlertRecord, AttackHistoryStore, PreviousAttackerS
 from ..synth.attacks import AttackType
 from .model import XatuModel
 
-__all__ = ["OnlineAlert", "OnlineXatu"]
+__all__ = ["OnlineAlert", "OnlineConfig", "OnlineXatu"]
 
 _CLASS_OF_GROUP = {
     "V": "all",
@@ -58,6 +62,57 @@ class OnlineAlert:
     customer_id: int
     minute: int
     survival: float
+
+    @property
+    def score(self) -> float:
+        """The unified :class:`repro.detect.Alert` score (survival)."""
+        return self.survival
+
+    @property
+    def detector(self) -> str:
+        return "xatu"
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineConfig:
+    """Streaming-behaviour knobs for :class:`OnlineXatu`.
+
+    Consolidates the former constructor kwarg sprawl into one typed
+    config (re-exported from ``repro``); the legacy keyword arguments
+    still work and map onto these fields.
+
+    Attributes
+    ----------
+    threshold:
+        Survival threshold in (0, 1): a customer alerts when its survival
+        drops below it.
+    history_decay_minutes / clustering_window:
+        A4 decay horizon and A5 sliding-window width.
+    rearm_after:
+        Minutes a customer stays suppressed after alerting, absent an
+        explicit mitigation-end notice.
+    start_minute:
+        First minute the detector will observe (its clock starts one
+        before).  Lets a restored or mid-trace detector resume without
+        fake catch-up calls.
+    evict_margin_minutes:
+        Traffic-matrix state older than ``lookback + margin`` is evicted
+        each minute, keeping long-running detectors' memory bounded.
+        Negative disables eviction.
+    """
+
+    threshold: float = 0.5
+    history_decay_minutes: float = 7 * 1440.0
+    clustering_window: int = 60
+    rearm_after: int = 10
+    start_minute: int = 0
+    evict_margin_minutes: int = 120
+
+    def validate(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        if self.rearm_after < 0:
+            raise ValueError("rearm_after must be >= 0")
 
 
 class OnlineXatu:
@@ -78,36 +133,72 @@ class OnlineXatu:
         Customer id → baseline bytes/minute, for A4 severity bucketing.
     """
 
+    name = "xatu"
+
     def __init__(
         self,
         model: XatuModel,
         scaler: FeatureScaler,
-        threshold: float,
-        customer_of: dict[int, int],
-        blocklist,
-        route_table: RouteTable,
+        threshold: float | None = None,
+        customer_of: dict[int, int] | None = None,
+        blocklist=None,
+        route_table: RouteTable | None = None,
         base_rate_of: dict[int, float] | None = None,
-        history_decay_minutes: float = 7 * 1440.0,
-        clustering_window: int = 60,
-        rearm_after: int = 10,
+        history_decay_minutes: float | None = None,
+        clustering_window: int | None = None,
+        rearm_after: int | None = None,
+        config: OnlineConfig | None = None,
     ) -> None:
-        if not 0.0 < threshold < 1.0:
-            raise ValueError("threshold must be in (0, 1)")
+        if config is not None:
+            legacy = {
+                "threshold": threshold,
+                "history_decay_minutes": history_decay_minutes,
+                "clustering_window": clustering_window,
+                "rearm_after": rearm_after,
+            }
+            passed = [name for name, value in legacy.items() if value is not None]
+            if passed:
+                raise ValueError(
+                    "pass streaming knobs either via config=OnlineConfig(...) "
+                    f"or as legacy keywords, not both: {passed}"
+                )
+        else:
+            defaults = OnlineConfig()
+            config = OnlineConfig(
+                threshold=defaults.threshold if threshold is None else threshold,
+                history_decay_minutes=(
+                    defaults.history_decay_minutes
+                    if history_decay_minutes is None
+                    else history_decay_minutes
+                ),
+                clustering_window=(
+                    defaults.clustering_window
+                    if clustering_window is None
+                    else clustering_window
+                ),
+                rearm_after=defaults.rearm_after if rearm_after is None else rearm_after,
+            )
+        config.validate()
+        self.config_online = config
         self.model = model
         self.scaler = scaler
-        self.threshold = threshold
-        self.customer_of = dict(customer_of)
-        self.blocklist = blocklist
+        self.threshold = config.threshold
+        self.customer_of = dict(customer_of or {})
+        self.blocklist = set() if blocklist is None else blocklist
         self.route_table = route_table
         self.base_rate_of = base_rate_of or {}
-        self.rearm_after = rearm_after
+        self.rearm_after = config.rearm_after
+        self._slices = group_slices()
+        self.reset()
 
+    def reset(self) -> None:
+        """Return to the post-construction state (clock, stores, alerts)."""
+        config = self.config_online
         self.matrix = TrafficMatrix()
         self.prev_attackers = PreviousAttackerStore()
-        self.history = AttackHistoryStore(decay_minutes=history_decay_minutes)
-        self.graph = AttackerCustomerGraph(window_minutes=clustering_window)
-        self._slices = group_slices()
-        self._minute = -1
+        self.history = AttackHistoryStore(decay_minutes=config.history_decay_minutes)
+        self.graph = AttackerCustomerGraph(window_minutes=config.clustering_window)
+        self._minute = config.start_minute - 1
         self._hazards: dict[int, list[float]] = defaultdict(list)
         self._suppressed_until: dict[int, int] = {}
         self._pending: list[OnlineAlert] = []
@@ -201,8 +292,36 @@ class OnlineXatu:
 
     # ------------------------------------------------------------------
     def observe_minute(
-        self, minute: int, flows: list[FlowRecord]
-    ) -> list[OnlineAlert]:
+        self,
+        minute_or_flows: int | Sequence[FlowRecord],
+        flows: list[FlowRecord] | None = None,
+    ) -> list[OnlineAlert] | None:
+        """Ingest one minute of sampled flows.
+
+        Protocol form (:class:`repro.detect.Detector`): pass just the flow
+        batch — the internal clock advances one minute per call (or jumps
+        to the newest flow timestamp) and alerts surface via
+        :meth:`poll_alerts`.
+
+        The legacy form ``observe_minute(minute, flows)`` still works and
+        returns the minute's alerts directly, but is deprecated in favour
+        of the protocol form (or :meth:`step` when the caller owns the
+        clock).
+        """
+        if flows is not None or isinstance(minute_or_flows, (int, np.integer)):
+            warnings.warn(
+                "OnlineXatu.observe_minute(minute, flows) is deprecated; "
+                "use observe_minute(flows) (protocol form) or "
+                "step(minute, flows) (explicit clock)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            return self.step(int(minute_or_flows), list(flows or []))
+        batch = list(minute_or_flows)
+        self.step(infer_minute(self._minute, batch), batch)
+        return None
+
+    def step(self, minute: int, flows: list[FlowRecord]) -> list[OnlineAlert]:
         """Ingest one minute of flows and return any new alerts.
 
         ``minute`` must advance monotonically; quiet customers still get a
@@ -259,6 +378,14 @@ class OnlineXatu:
                         # rearm_after minutes, whichever first).
                         self._suppressed_until[customer_id] = minute + self.rearm_after
         self._pending.extend(alerts)
+        # Bounded memory: matrix cells older than the model lookback (plus
+        # a safety margin) and expired clustering alerts are dead state.
+        margin = self.config_online.evict_margin_minutes
+        evicted_cells = 0
+        if margin >= 0:
+            lookback = self.model.config.lookback_minutes
+            evicted_cells = self.matrix.evict_before(minute + 1 - lookback - margin)
+            self.graph.prune_before(minute)
         if telemetry_on:
             registry.counter("online.minutes", "minutes observed").inc()
             registry.counter("online.flows", "flows ingested and attributed").inc(
@@ -276,6 +403,10 @@ class OnlineXatu:
                 registry.counter(
                     "online.hazard_evictions", "hazard-history entries evicted"
                 ).inc(evicted)
+            if evicted_cells:
+                registry.counter(
+                    "online.matrix_evictions", "traffic-matrix cells evicted"
+                ).inc(evicted_cells)
             registry.gauge(
                 "online.watched_customers", "customers currently scored each minute"
             ).set(len(self._watched))
@@ -291,3 +422,167 @@ class OnlineXatu:
         """Drain alerts accumulated since the last poll."""
         pending, self._pending = self._pending, []
         return pending
+
+    # ------------------------------------------------------------------
+    # durable state (repro.serve checkpoints)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Canonical snapshot of the *complete* online state.
+
+        Covers everything scoring depends on — traffic-matrix windows, the
+        A2/A4/A5 stores, scaler statistics, model weights, the hazard and
+        suppression trackers, and the clock — so a detector restored from
+        this dict emits byte-identical alerts to one that never stopped.
+        All collections are emitted in sorted order, making equal states
+        serialize to equal bytes (the serve-layer crash-equivalence
+        guarantee).
+
+        The routing table is deployment context, not detector state, and
+        must be re-supplied on restore; the spoof cache is carried so
+        restored runs stay bitwise-faithful even if the table changed.
+        """
+        if not isinstance(self.blocklist, (set, frozenset)):
+            raise TypeError(
+                "state_dict() requires a set-like blocklist; custom "
+                "membership objects must be re-supplied on restore"
+            )
+        cfg = self.config_online
+        model_cfg = self.model.config
+        return {
+            "minute": self._minute,
+            "config": {
+                "threshold": self.threshold,
+                "history_decay_minutes": cfg.history_decay_minutes,
+                "clustering_window": cfg.clustering_window,
+                "rearm_after": self.rearm_after,
+                "start_minute": cfg.start_minute,
+                "evict_margin_minutes": cfg.evict_margin_minutes,
+            },
+            "model": {
+                "meta": {
+                    "n_features": model_cfg.n_features,
+                    "hidden_size": model_cfg.hidden_size,
+                    "dense_size": model_cfg.dense_size,
+                    "detect_window": model_cfg.detect_window,
+                    "pooling": model_cfg.pooling,
+                    "seed": model_cfg.seed,
+                    "timescales": [
+                        [ts.name, ts.window, ts.span] for ts in model_cfg.timescales
+                    ],
+                },
+                "weights": state_to_bytes(self.model.state_dict()),
+            },
+            "scaler": (
+                None
+                if self.scaler.mean_ is None
+                else state_to_bytes(self.scaler.state_dict())
+            ),
+            "matrix": self.matrix.state_dict(),
+            "prev_attackers": self.prev_attackers.state_dict(),
+            "history": self.history.state_dict(),
+            "graph": self.graph.state_dict(),
+            "hazards": [
+                [customer, list(values)]
+                for customer, values in sorted(self._hazards.items())
+                if values
+            ],
+            "suppressed_until": sorted(
+                (customer, until) for customer, until in self._suppressed_until.items()
+            ),
+            "pending": [
+                [a.customer_id, a.minute, a.survival] for a in self._pending
+            ],
+            "watched": sorted(self._watched),
+            "spoof_cache": sorted(
+                (addr, bool(spoofed)) for addr, spoofed in self._spoof_cache.items()
+            ),
+            "customer_of": sorted(self.customer_of.items()),
+            "base_rate_of": sorted(self.base_rate_of.items()),
+            "blocklist": sorted(int(a) for a in self.blocklist),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore the complete online state captured by :meth:`state_dict`.
+
+        Model weights and scaler statistics are loaded back into the
+        current model/scaler objects (architectures must match).
+        """
+        cfg = state["config"]
+        self.config_online = OnlineConfig(
+            threshold=float(cfg["threshold"]),
+            history_decay_minutes=float(cfg["history_decay_minutes"]),
+            clustering_window=int(cfg["clustering_window"]),
+            rearm_after=int(cfg["rearm_after"]),
+            start_minute=int(cfg["start_minute"]),
+            evict_margin_minutes=int(cfg["evict_margin_minutes"]),
+        )
+        self.threshold = self.config_online.threshold
+        self.rearm_after = self.config_online.rearm_after
+        self.model.load_state_dict(state_from_bytes(state["model"]["weights"]))
+        if state["scaler"] is not None:
+            self.scaler.load_state_dict(state_from_bytes(state["scaler"]))
+        self.customer_of = {int(a): int(c) for a, c in state["customer_of"]}
+        self.base_rate_of = {int(c): float(r) for c, r in state["base_rate_of"]}
+        self.blocklist = set(int(a) for a in state["blocklist"])
+        self.matrix = TrafficMatrix()
+        self.matrix.load_state_dict(state["matrix"])
+        self.prev_attackers = PreviousAttackerStore()
+        self.prev_attackers.load_state_dict(state["prev_attackers"])
+        self.history = AttackHistoryStore()
+        self.history.load_state_dict(state["history"])
+        self.graph = AttackerCustomerGraph()
+        self.graph.load_state_dict(state["graph"])
+        self._minute = int(state["minute"])
+        self._hazards = defaultdict(list)
+        for customer, values in state["hazards"]:
+            self._hazards[int(customer)] = [float(v) for v in values]
+        self._suppressed_until = {
+            int(customer): int(until) for customer, until in state["suppressed_until"]
+        }
+        self._pending = [
+            OnlineAlert(int(c), int(m), float(s)) for c, m, s in state["pending"]
+        ]
+        self._watched = set(int(c) for c in state["watched"])
+        self._spoof_cache = {
+            int(addr): bool(spoofed) for addr, spoofed in state["spoof_cache"]
+        }
+
+    @classmethod
+    def from_state_dict(
+        cls, state: dict, route_table: RouteTable, model: XatuModel | None = None
+    ) -> "OnlineXatu":
+        """Rebuild a detector from a :meth:`state_dict` snapshot.
+
+        ``model`` may be supplied to reuse an existing architecture object;
+        otherwise one is rebuilt from the snapshot's model metadata.  The
+        routing table is deployment context and always comes from the
+        caller.
+        """
+        from .model import TimescaleSpec, XatuModelConfig
+
+        if model is None:
+            meta = state["model"]["meta"]
+            model = XatuModel(
+                XatuModelConfig(
+                    n_features=int(meta["n_features"]),
+                    hidden_size=int(meta["hidden_size"]),
+                    dense_size=int(meta["dense_size"]),
+                    detect_window=int(meta["detect_window"]),
+                    pooling=str(meta["pooling"]),
+                    seed=int(meta["seed"]),
+                    timescales=tuple(
+                        TimescaleSpec(name, int(window), int(span))
+                        for name, window, span in meta["timescales"]
+                    ),
+                )
+            )
+        online = cls(
+            model=model,
+            scaler=FeatureScaler(),
+            customer_of={},
+            blocklist=set(),
+            route_table=route_table,
+            config=OnlineConfig(threshold=float(state["config"]["threshold"])),
+        )
+        online.load_state_dict(state)
+        return online

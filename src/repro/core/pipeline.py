@@ -20,7 +20,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from ..detect.detectors import DetectionAlert, Detector, NetScoutDetector
+from ..detect.detectors import DetectionAlert, NetScoutDetector, TraceDetector
 from ..metrics.core import PercentileSummary, percentile_summary
 from ..scrub.center import DiversionWindow, ScrubbingCenter, ScrubbingReport
 from ..signals.features import FeatureExtractor, FeatureScaler
@@ -130,7 +130,7 @@ class XatuPipeline:
         self,
         config: PipelineConfig | None = None,
         trace: Trace | None = None,
-        cdet: Detector | None = None,
+        cdet: TraceDetector | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.trace = trace or TraceGenerator(self.config.scenario).generate()
@@ -280,7 +280,7 @@ class XatuPipeline:
         )
 
         # 1. Incumbent CDet labels.
-        cdet_alerts = self.cdet.run(trace)
+        cdet_alerts = self.cdet.detect(trace)
         labeled = [a for a in cdet_alerts if a.event_id >= 0]
         n_train_labels = sum(
             1 for a in labeled if train_lo <= a.detect_minute < train_hi

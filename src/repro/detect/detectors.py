@@ -15,19 +15,38 @@ the threshold is set:
 
 Detectors also emit the coarse alert signature for the dominant protocol
 at detection time, which is what gets diverted to scrubbing.
+
+Both detectors run in two modes sharing one sustain/release engine:
+
+* **offline** — :meth:`detect(trace)` sweeps a materialized trace (the
+  evaluation path; thresholds may profile over the whole window at once);
+* **streaming** — the :class:`repro.detect.api.Detector` protocol
+  (``observe_minute`` / ``poll_alerts`` / ``reset``): thresholds are built
+  causally, so NetScout stays silent until its profile window completes.
+
+``run(trace)`` remains as a deprecated alias of ``detect(trace)``.
 """
 
 from __future__ import annotations
 
+import warnings
+from collections import defaultdict
 from dataclasses import dataclass
-from typing import Protocol as TypingProtocol
+from typing import Protocol as TypingProtocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from ..netflow.records import FlowRecord
 from ..synth.attacks import AttackType
 from ..synth.scenario import AttackEvent, Trace
+from .api import StreamAlert, infer_minute
 
-__all__ = ["DetectionAlert", "Detector", "NetScoutDetector", "FastNetMonDetector"]
+__all__ = [
+    "DetectionAlert",
+    "TraceDetector",
+    "NetScoutDetector",
+    "FastNetMonDetector",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,12 +61,17 @@ class DetectionAlert:
     peak_bytes: float
 
 
-class Detector(TypingProtocol):
-    """Anything that turns a trace into an alert list."""
+@runtime_checkable
+class TraceDetector(TypingProtocol):
+    """Anything that turns a materialized trace into an alert list.
+
+    The *offline* counterpart of the streaming
+    :class:`repro.detect.api.Detector` protocol.
+    """
 
     name: str
 
-    def run(self, trace: Trace) -> list[DetectionAlert]:  # pragma: no cover
+    def detect(self, trace: Trace) -> list[DetectionAlert]:  # pragma: no cover
         ...
 
 
@@ -72,16 +96,118 @@ class _SustainedThresholdDetector:
 
     name = "cdet"
 
-    def __init__(self, sustain: int, release: int) -> None:
+    def __init__(
+        self, sustain: int, release: int, customer_of: dict[int, int] | None = None
+    ) -> None:
         self.sustain = sustain
         self.release = release
+        # Streaming mode: destination address -> customer id.  Without a
+        # map, destination addresses are treated as customer keys directly.
+        self.customer_of = dict(customer_of) if customer_of else None
+        self.reset()
 
     def _threshold_series(
         self, series: np.ndarray, trace: Trace, customer_id: int
     ) -> np.ndarray:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # streaming protocol (repro.detect.api.Detector)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the post-construction streaming state."""
+        self._minute = -1
+        self._runs: dict[int, int] = {}
+        self._active: dict[int, int] = {}  # customer -> consecutive quiet minutes
+        self._pending: list[StreamAlert] = []
+        self._reset_thresholds()
+
+    def _reset_thresholds(self) -> None:
+        """Clear subclass threshold state (override alongside
+        :meth:`_stream_threshold`)."""
+
+    def _stream_threshold(
+        self, customer_id: int, observed_bytes: float
+    ) -> float | None:  # pragma: no cover - abstract
+        """Causal per-minute threshold for one customer, or ``None`` while
+        the detector is still profiling (no detection possible yet).
+
+        Called exactly once per customer per observed minute; implementations
+        update their own running state (profiles, EWMA bands).
+        """
+        raise NotImplementedError
+
+    @property
+    def current_minute(self) -> int:
+        return self._minute
+
+    def observe_minute(self, flows: Sequence[FlowRecord]) -> None:
+        """Ingest one minute of sampled flows (protocol mode).
+
+        The per-customer byte totals drive the same sustain/release engine
+        the offline sweep uses, against causally-built thresholds.
+        """
+        minute = infer_minute(self._minute, flows)
+        self._minute = minute
+        observed: dict[int, float] = defaultdict(float)
+        for flow in flows:
+            if self.customer_of is not None:
+                customer_id = self.customer_of.get(flow.dst_addr)
+                if customer_id is None:
+                    continue
+            else:
+                customer_id = flow.dst_addr
+            observed[customer_id] += flow.estimated_bytes
+        watched = set(self._runs) | set(self._active) | set(observed)
+        for customer_id in sorted(watched):
+            bytes_ = observed.get(customer_id, 0.0)
+            threshold = self._stream_threshold(customer_id, bytes_)
+            over = threshold is not None and bytes_ > threshold
+            if customer_id in self._active:
+                # An alert is in progress: wait for `release` quiet minutes
+                # (the mitigation-end condition) before re-arming.
+                quiet = 0 if over else self._active[customer_id] + 1
+                if quiet >= self.release:
+                    del self._active[customer_id]
+                    self._runs[customer_id] = 0
+                else:
+                    self._active[customer_id] = quiet
+                continue
+            run = self._runs.get(customer_id, 0) + 1 if over else 0
+            self._runs[customer_id] = run
+            if run >= self.sustain:
+                self._pending.append(
+                    StreamAlert(
+                        customer_id=customer_id,
+                        minute=minute,
+                        score=float(bytes_ / threshold) if threshold else 0.0,
+                        detector=self.name,
+                    )
+                )
+                self._active[customer_id] = 0
+                self._runs[customer_id] = 0
+        return None
+
+    def poll_alerts(self) -> list[StreamAlert]:
+        """Drain alerts accumulated since the last poll."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    # ------------------------------------------------------------------
+    # offline sweep
+    # ------------------------------------------------------------------
     def run(self, trace: Trace) -> list[DetectionAlert]:
+        """Deprecated alias of :meth:`detect` (the pre-protocol signature)."""
+        warnings.warn(
+            f"{type(self).__name__}.run(trace) is deprecated; use "
+            "detect(trace) for offline sweeps or the streaming protocol "
+            "(observe_minute/poll_alerts/reset) for minute-driven serving",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.detect(trace)
+
+    def detect(self, trace: Trace) -> list[DetectionAlert]:
         alerts: list[DetectionAlert] = []
         horizon = trace.horizon
         for customer in trace.world.customers:
@@ -140,11 +266,12 @@ class NetScoutDetector(_SustainedThresholdDetector):
         profile_quantile: float = 0.99,
         headroom: float = 2.0,
         profile_window: int | None = None,
+        customer_of: dict[int, int] | None = None,
     ) -> None:
-        super().__init__(sustain=sustain, release=release)
         self.profile_quantile = profile_quantile
         self.headroom = headroom
         self.profile_window = profile_window
+        super().__init__(sustain=sustain, release=release, customer_of=customer_of)
 
     def _threshold_series(
         self, series: np.ndarray, trace: Trace, customer_id: int
@@ -153,6 +280,31 @@ class NetScoutDetector(_SustainedThresholdDetector):
         window = min(window, len(series))
         profile = np.quantile(series[:window], self.profile_quantile)
         return np.full_like(series, profile * self.headroom)
+
+    # Streaming mode is causal: the profile accumulates per customer and
+    # the threshold freezes once the window is full — no detection (and no
+    # lookahead) before that, unlike the offline whole-trace sweep.
+    def _reset_thresholds(self) -> None:
+        self._profiles: dict[int, list[float]] = {}
+        self._frozen: dict[int, float] = {}
+
+    def _stream_threshold(
+        self, customer_id: int, observed_bytes: float
+    ) -> float | None:
+        frozen = self._frozen.get(customer_id)
+        if frozen is not None:
+            return frozen
+        window = self.profile_window or 1440
+        profile = self._profiles.setdefault(customer_id, [])
+        profile.append(float(observed_bytes))
+        if len(profile) < window:
+            return None
+        threshold = float(
+            np.quantile(np.asarray(profile), self.profile_quantile) * self.headroom
+        )
+        self._frozen[customer_id] = threshold
+        del self._profiles[customer_id]
+        return threshold
 
 
 class FastNetMonDetector(_SustainedThresholdDetector):
@@ -171,11 +323,12 @@ class FastNetMonDetector(_SustainedThresholdDetector):
         alpha: float = 0.02,
         k: float = 6.0,
         floor_multiplier: float = 1.5,
+        customer_of: dict[int, int] | None = None,
     ) -> None:
-        super().__init__(sustain=sustain, release=release)
         self.alpha = alpha
         self.k = k
         self.floor_multiplier = floor_multiplier
+        super().__init__(sustain=sustain, release=release, customer_of=customer_of)
 
     def _threshold_series(
         self, series: np.ndarray, trace: Trace, customer_id: int
@@ -195,3 +348,22 @@ class FastNetMonDetector(_SustainedThresholdDetector):
             dev = (1 - alpha) * dev + alpha * abs(bounded - mean)
             mean = (1 - alpha) * mean + alpha * bounded
         return thresholds
+
+    # The EWMA band is already causal, so the streaming thresholds are the
+    # exact per-minute values the offline sweep computes.
+    def _reset_thresholds(self) -> None:
+        self._bands: dict[int, tuple[float, float]] = {}
+
+    def _stream_threshold(
+        self, customer_id: int, observed_bytes: float
+    ) -> float | None:
+        x = float(observed_bytes)
+        mean, dev = self._bands.get(customer_id, (x, 0.0))
+        threshold = max(
+            mean + self.k * dev, self.floor_multiplier * max(mean, 1.0)
+        )
+        bounded = min(x, threshold)
+        dev = (1 - self.alpha) * dev + self.alpha * abs(bounded - mean)
+        mean = (1 - self.alpha) * mean + self.alpha * bounded
+        self._bands[customer_id] = (mean, dev)
+        return threshold

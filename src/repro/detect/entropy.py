@@ -101,6 +101,17 @@ class EntropyDetector:
         return flags
 
     def run(self, trace: Trace) -> list[DetectionAlert]:
+        """Deprecated alias of :meth:`detect` (the pre-protocol signature)."""
+        import warnings
+
+        warnings.warn(
+            "EntropyDetector.run(trace) is deprecated; use detect(trace)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.detect(trace)
+
+    def detect(self, trace: Trace) -> list[DetectionAlert]:
         alerts: list[DetectionAlert] = []
         horizon = trace.horizon
         for customer in trace.world.customers:

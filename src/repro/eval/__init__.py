@@ -33,6 +33,7 @@ from .rf_baseline import RFBaseline, rf_features_from_window
 from .robustness import RobustnessPoint, run_rate_sweep, run_volume_sweep
 from .scale import PAPER_SCENARIO, compress_scenario, scale_model_for
 from .sensitivity import SensitivityExperiment, SensitivityPoint
+from .streaming import stream_trace
 from .tables import format_value, render_series, render_table
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "RFBaseline", "rf_features_from_window",
     "RobustnessPoint", "run_volume_sweep", "run_rate_sweep",
     "SensitivityExperiment", "SensitivityPoint",
+    "stream_trace",
     "render_table", "render_series", "format_value",
     "build_report",
     "FalsePositiveVerdict", "classify_false_positives",

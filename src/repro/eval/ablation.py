@@ -73,7 +73,7 @@ class AblationExperiment:
             self.trace.horizon
         )
         self.labeled = [
-            a for a in NetScoutDetector().run(self.trace) if a.event_id >= 0
+            a for a in NetScoutDetector().detect(self.trace) if a.event_id >= 0
         ]
         stab = int((self.test_rng[1] - self.test_rng[0]) * config.stabilization_fraction)
         self.eval_range = (self.test_rng[0] + stab, self.test_rng[1])

@@ -18,7 +18,7 @@ from ..core.detector import DetectorConfig, XatuDetector
 from ..core.model import XatuModel
 from ..core.pipeline import PipelineConfig, alerts_to_records
 from ..core.trainer import XatuTrainer
-from ..detect.detectors import DetectionAlert, Detector, FastNetMonDetector, NetScoutDetector
+from ..detect.detectors import DetectionAlert, FastNetMonDetector, NetScoutDetector, TraceDetector
 from ..metrics.core import auc, percentile_summary, roc_curve
 from ..scrub.center import DiversionWindow, ScrubbingCenter
 from ..signals.features import FeatureExtractor
@@ -75,8 +75,8 @@ class HeadlineExperiment:
 
         self.netscout = NetScoutDetector()
         self.fastnetmon = FastNetMonDetector()
-        self.ns_alerts = self.netscout.run(trace)
-        self.fnm_alerts = self.fastnetmon.run(trace)
+        self.ns_alerts = self.netscout.detect(trace)
+        self.fnm_alerts = self.fastnetmon.detect(trace)
         self.entropy_alerts = None  # computed lazily (extension baseline)
         labeled = [a for a in self.ns_alerts if a.event_id >= 0]
         self.labeled = labeled
@@ -245,7 +245,7 @@ class HeadlineExperiment:
         if include_entropy and self.entropy_alerts is None:
             from ..detect.entropy import EntropyDetector
 
-            self.entropy_alerts = EntropyDetector().run(self.trace)
+            self.entropy_alerts = EntropyDetector().detect(self.trace)
         for bound in overhead_bounds:
             rows.append(self._metrics("netscout", ns_windows, bound, self.eval_range, types))
             rows.append(self._metrics("fastnetmon", fnm_windows, bound, self.eval_range, types))

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..detect.detectors import DetectionAlert, Detector, NetScoutDetector
+from ..detect.detectors import DetectionAlert, NetScoutDetector, TraceDetector
 from ..scrub.center import DiversionWindow, ScrubbingCenter
 from ..synth.scenario import Trace
 
@@ -36,13 +36,13 @@ class NaiveEarlyPoint:
 def run_naive_early(
     trace: Trace,
     minutes_early_values: list[int] | None = None,
-    detector: Detector | None = None,
+    detector: TraceDetector | None = None,
 ) -> list[NaiveEarlyPoint]:
     """Sweep the uniform early-shift N and account each setting."""
     if minutes_early_values is None:
         minutes_early_values = [0, 3, 6, 9, 12, 15]
     detector = detector or NetScoutDetector()
-    alerts = [a for a in detector.run(trace) if a.event_id >= 0]
+    alerts = [a for a in detector.detect(trace) if a.event_id >= 0]
     center = ScrubbingCenter(trace)
 
     points: list[NaiveEarlyPoint] = []

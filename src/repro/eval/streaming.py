@@ -1,0 +1,32 @@
+"""Drive any protocol detector over a replayed trace.
+
+The :class:`~repro.detect.Detector` protocol makes the incumbent CDet
+simulators and Xatu's streaming mode interchangeable; this module is the
+eval-side driver that exploits that — one loop, any detector, a replayed
+:class:`~repro.synth.Trace` as the live feed.
+"""
+
+from __future__ import annotations
+
+from ..detect.api import Alert, Detector, drive
+from ..synth.replay import TraceReplayer
+from ..synth.scenario import Trace
+
+__all__ = ["stream_trace"]
+
+
+def stream_trace(
+    detector: Detector,
+    trace: Trace,
+    start_minute: int = 0,
+    end_minute: int | None = None,
+    seed: int = 0,
+) -> list[Alert]:
+    """Stream a trace minute-by-minute through any protocol detector.
+
+    Reconstructs each minute's flows with :class:`TraceReplayer` and feeds
+    them via the protocol (``observe_minute`` / ``poll_alerts``),
+    returning every alert emitted over the range.
+    """
+    replay = TraceReplayer(trace, seed=seed).replay(start_minute, end_minute)
+    return drive(detector, replay)

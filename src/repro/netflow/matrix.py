@@ -11,6 +11,7 @@ minute), and materializes dense ``(minutes, 63)`` numpy blocks on demand.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -139,6 +140,31 @@ class VolumetricAccumulator:
             v[_OFF_COUNTRY + 2 * cc] += bytes_
             v[_OFF_COUNTRY + 2 * cc + 1] += packets
 
+    def state_dict(self) -> dict:
+        """Canonical plain-type snapshot of this cell (sources sorted so
+        two cells with equal content serialize byte-identically)."""
+        return {
+            "flow_count": self.flow_count,
+            "total_bytes": self.total_bytes,
+            "total_packets": self.total_packets,
+            "max_bytes": self.max_bytes,
+            "max_packets": self.max_packets,
+            "vector": self.vector.copy(),
+            "sources": sorted(self._sources),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VolumetricAccumulator":
+        cell = cls()
+        cell.flow_count = int(state["flow_count"])
+        cell.total_bytes = int(state["total_bytes"])
+        cell.total_packets = int(state["total_packets"])
+        cell.max_bytes = int(state["max_bytes"])
+        cell.max_packets = int(state["max_packets"])
+        cell.vector = np.asarray(state["vector"], dtype=np.float64).copy()
+        cell._sources = set(int(a) for a in state["sources"])
+        return cell
+
     def merge(self, other: "VolumetricAccumulator") -> None:
         """Fold another cell into this one (same minute, different class).
 
@@ -248,6 +274,49 @@ class TrafficMatrix:
                 (customer, source_class, minute)
             ].finalize()
         return block
+
+    def evict_before(self, minute: int) -> int:
+        """Drop all cells older than ``minute``; return the eviction count.
+
+        Keeps the streaming detectors' memory bounded: feature windows only
+        ever read the trailing model lookback, so anything older is dead
+        state.  ``max_minute`` and the customer roster are preserved.
+        """
+        stale = [key for key in self._cells if key[2] < minute]
+        for key in stale:
+            del self._cells[key]
+            customer, cls, m = key
+            minutes = self._minutes_index.get((customer, cls))
+            if minutes is not None:
+                minutes.discard(m)
+                if not minutes:
+                    del self._minutes_index[(customer, cls)]
+        return len(stale)
+
+    def state_dict(self) -> dict:
+        """Canonical snapshot: cells sorted by (customer, class, minute)."""
+        return {
+            "max_minute": self.max_minute,
+            "customers": sorted(self._customers),
+            "cells": [
+                [customer, cls, minute, self._cells[(customer, cls, minute)].state_dict()]
+                for customer, cls, minute in sorted(self._cells)
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._cells = {}
+        self._minutes_index = {}
+        self._customers = set(int(c) for c in state["customers"])
+        self.max_minute = int(state["max_minute"])
+        for customer, cls, minute, cell_state in state["cells"]:
+            # Interned: cell keys must share identity with the module's
+            # SOURCE_CLASS_* constants, so a restored matrix pickles
+            # byte-identically to one that never round-tripped (the
+            # checkpoint byte-identity guarantee).
+            key = (int(customer), sys.intern(str(cls)), int(minute))
+            self._cells[key] = VolumetricAccumulator.from_state(cell_state)
+            self._minutes_index.setdefault((key[0], key[1]), set()).add(key[2])
 
     def total_bytes(
         self,

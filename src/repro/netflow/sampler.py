@@ -154,6 +154,40 @@ class FlowCollector:
         records, self._records = self._records, []
         return records
 
+    def state_dict(self) -> dict:
+        """Canonical snapshot: counters, sequence-tracker expectations, and
+        any undrained records (wire-encoded, so the snapshot is plain
+        bytes/ints only)."""
+        tracker = self._tracker
+        return {
+            "records_received": self.records_received,
+            "datagrams_received": self.datagrams_received,
+            "pending": encode_flows(self._records),
+            "tracker": {
+                "expected": sorted(
+                    (int(engine), int(seq))
+                    for engine, seq in tracker._expected.items()
+                ),
+                "records_received": tracker.records_received,
+                "records_lost": tracker.records_lost,
+                "out_of_order": tracker.out_of_order,
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.records_received = int(state["records_received"])
+        self.datagrams_received = int(state["datagrams_received"])
+        self._records = decode_flows(state["pending"])
+        tracker_state = state["tracker"]
+        tracker = SequenceTracker()
+        tracker._expected = {
+            int(engine): int(seq) for engine, seq in tracker_state["expected"]
+        }
+        tracker.records_received = int(tracker_state["records_received"])
+        tracker.records_lost = int(tracker_state["records_lost"])
+        tracker.out_of_order = int(tracker_state["out_of_order"])
+        self._tracker = tracker
+
     def __iter__(self) -> Iterator[FlowRecord]:
         return iter(self._records)
 

@@ -14,6 +14,7 @@ broadcasting support so the engine is usable as a general library.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -29,8 +30,22 @@ __all__ = [
     "get_tape_hook",
 ]
 
-_GRAD_ENABLED = True
-_INFERENCE_DTYPE: np.dtype | None = None
+
+class _TensorMode(threading.local):
+    """Per-thread autograd mode: the grad flag and active inference dtype.
+
+    Thread-local, not a module global: concurrent scoring threads (e.g.
+    repro.serve's thread-backed shards) enter ``no_grad()`` independently,
+    and with a shared flag one worker's exit could restore the value
+    another worker saved — leaving gradients disabled process-wide.
+    """
+
+    def __init__(self) -> None:
+        self.grad_enabled = True
+        self.inference_dtype: np.dtype | None = None
+
+
+_MODE = _TensorMode()
 
 # Optional profiling hook (see repro.obs.profiler): an object with
 # ``record_forward(op, seconds)`` / ``record_backward(op, seconds)``.
@@ -84,16 +99,14 @@ class no_grad:
         return super().__new__(cls)
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = _MODE.grad_enabled
+        _MODE.grad_enabled = False
         return self
 
     def __exit__(self, *exc) -> bool:
         # Always restore the saved flag — including when the body raised
         # (``exc`` is then the in-flight exception info) and under nesting.
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = getattr(self, "_prev", True)
+        _MODE.grad_enabled = getattr(self, "_prev", True)
         return False  # never swallow the exception
 
     def __call__(self, func: Callable) -> Callable:
@@ -109,7 +122,7 @@ class no_grad:
 
 def is_grad_enabled() -> bool:
     """Return whether new operations are recorded on the autograd tape."""
-    return _GRAD_ENABLED
+    return _MODE.grad_enabled
 
 
 class inference_dtype:
@@ -131,22 +144,20 @@ class inference_dtype:
         self.dtype = dtype
 
     def __enter__(self) -> "inference_dtype":
-        global _INFERENCE_DTYPE
-        self._prev = _INFERENCE_DTYPE
-        _INFERENCE_DTYPE = self.dtype
+        self._prev = _MODE.inference_dtype
+        _MODE.inference_dtype = self.dtype
         return self
 
     def __exit__(self, *exc) -> bool:
-        global _INFERENCE_DTYPE
-        _INFERENCE_DTYPE = getattr(self, "_prev", None)
+        _MODE.inference_dtype = getattr(self, "_prev", None)
         return False
 
 
 def resolve_inference_dtype() -> np.dtype | None:
     """The active reduced-precision dtype, or None outside no-grad inference."""
-    if _GRAD_ENABLED:
+    if _MODE.grad_enabled:
         return None
-    return _INFERENCE_DTYPE
+    return _MODE.inference_dtype
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -190,9 +201,9 @@ class Tensor:
         dtype = resolve_inference_dtype()
         self.data = np.asarray(data, dtype=np.float64 if dtype is None else dtype)
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
-        self._parents = _parents if _GRAD_ENABLED else ()
-        self._backward = _backward if _GRAD_ENABLED else None
+        self.requires_grad = requires_grad and _MODE.grad_enabled
+        self._parents = _parents if _MODE.grad_enabled else ()
+        self._backward = _backward if _MODE.grad_enabled else None
         self.name = name
 
     # ------------------------------------------------------------------
@@ -330,7 +341,7 @@ class Tensor:
             start = time.perf_counter()
             out_data = forward(self.data, other.data)
             hook.record_forward(op, time.perf_counter() - start)
-        if not _GRAD_ENABLED or not (self.requires_grad or other.requires_grad or self._parents or other._parents):
+        if not _MODE.grad_enabled or not (self.requires_grad or other.requires_grad or self._parents or other._parents):
             return Tensor(out_data, name=op)
         a, b = self, other
 
@@ -355,7 +366,7 @@ class Tensor:
             start = time.perf_counter()
             out_data = forward(self.data)
             hook.record_forward(op, time.perf_counter() - start)
-        if not _GRAD_ENABLED or not (self.requires_grad or self._parents):
+        if not _MODE.grad_enabled or not (self.requires_grad or self._parents):
             return Tensor(out_data, name=op)
         a = self
 
@@ -545,7 +556,7 @@ class Tensor:
     def concat(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
         tensors = [Tensor.from_any(t) for t in tensors]
         out_data = np.concatenate([t.data for t in tensors], axis=axis)
-        needs_grad = _GRAD_ENABLED and any(
+        needs_grad = _MODE.grad_enabled and any(
             t.requires_grad or t._parents for t in tensors
         )
         if not needs_grad:
@@ -567,7 +578,7 @@ class Tensor:
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.from_any(t) for t in tensors]
         out_data = np.stack([t.data for t in tensors], axis=axis)
-        needs_grad = _GRAD_ENABLED and any(
+        needs_grad = _MODE.grad_enabled and any(
             t.requires_grad or t._parents for t in tensors
         )
         if not needs_grad:

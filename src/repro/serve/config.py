@@ -1,0 +1,64 @@
+"""Typed configuration for the serving engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ServeConfig", "BACKENDS", "DEGRADATION_POLICIES"]
+
+BACKENDS = ("inline", "thread", "process")
+DEGRADATION_POLICIES = ("flag", "suppress")
+
+
+@dataclass(frozen=True, slots=True)
+class ServeConfig:
+    """Knobs for :class:`~repro.serve.ServeEngine`.
+
+    Attributes
+    ----------
+    shards:
+        Number of worker shards the customer universe is partitioned
+        across (``customer_id % shards``).  The merged alert stream is
+        identical for any shard count; sharding only changes who does the
+        scoring work.
+    backend:
+        ``inline`` scores shards sequentially in the caller's thread (the
+        deterministic reference, and the right choice for tests);
+        ``thread`` / ``process`` run one worker per shard so shards score
+        concurrently on multi-core hosts.
+    checkpoint_dir / checkpoint_every:
+        Where and how often (in observed minutes) to snapshot the full
+        online state.  ``checkpoint_every=0`` disables periodic snapshots
+        (explicit :meth:`~repro.serve.ServeEngine.checkpoint` calls still
+        work).
+    degraded_loss_rate:
+        Export-feed loss rate (from
+        :meth:`~repro.netflow.FlowCollector.feed_health`) above which the
+        feed counts as degraded.
+    degradation_policy:
+        ``flag`` keeps alerting and records the degradation in the obs
+        metrics; ``suppress`` additionally withholds alerts emitted during
+        degraded minutes (state still advances, so recovery is seamless).
+    """
+
+    shards: int = 1
+    backend: str = "inline"
+    checkpoint_dir: str | Path | None = None
+    checkpoint_every: int = 0
+    degraded_loss_rate: float = 0.05
+    degradation_policy: str = "flag"
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if not 0.0 <= self.degraded_loss_rate <= 1.0:
+            raise ValueError("degraded_loss_rate must be in [0, 1]")
+        if self.degradation_policy not in DEGRADATION_POLICIES:
+            raise ValueError(
+                f"degradation_policy must be one of {DEGRADATION_POLICIES}"
+            )

@@ -1,0 +1,390 @@
+"""The sharded, checkpointable serving engine.
+
+:class:`ServeEngine` is the deployment loop from §2.6 made durable: a
+:class:`~repro.netflow.FlowCollector` receives export datagrams, each
+minute ``tick()`` partitions the arrived flows across N shard workers
+(``customer_id % shards``), and the per-shard alerts are merged into one
+``(minute, customer_id)``-ordered stream.
+
+Shard-count invariance
+----------------------
+The A4/A5 signals (attack history, bipartite clustering) couple customers
+*across* shards: a clustering feature of customer ``c`` depends on alerts
+of other customers in the window.  The engine therefore broadcasts every
+incumbent-defense alert to **all** shards — each shard's history/graph
+stores are global, only its traffic matrix is partition-local — so the
+merged alert stream is byte-identical for any shard count.  Tests assert
+this.
+
+Durability
+----------
+``checkpoint()`` snapshots the collector plus every shard's complete
+online state into a versioned on-disk format
+(:mod:`repro.serve.state`); ``restore()`` loads one back, after which
+replaying the same minutes produces the same merged stream as a run that
+never stopped (the crash-equivalence guarantee).
+
+Degradation
+-----------
+``tick()`` consults :meth:`~repro.netflow.FlowCollector.feed_health`
+every minute: when the export-feed loss rate exceeds
+``ServeConfig.degraded_loss_rate`` the minute counts as degraded —
+flagged in the obs metrics, and (under the ``suppress`` policy) its
+alerts are withheld.  An unhealthy shard (worker raised or died) stops
+scoring its partition while the rest of the feed continues.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from ..core.online import OnlineAlert, OnlineXatu
+from ..netflow.records import FlowRecord
+from ..netflow.sampler import FeedHealth, FlowCollector
+from ..obs import get_registry, obs_enabled, trace
+from ..signals.history import AlertRecord
+from .config import ServeConfig
+from .shard import ShardFailure, ShardWorker
+from .state import read_checkpoint, write_checkpoint
+
+__all__ = ["ServeEngine"]
+
+DetectorFactory = Callable[[dict[int, int]], OnlineXatu]
+
+
+def _merge_key(alert: OnlineAlert) -> tuple[int, int]:
+    return (alert.minute, alert.customer_id)
+
+
+class ServeEngine:
+    """Drive a sharded fleet of :class:`~repro.core.OnlineXatu` partitions.
+
+    Parameters
+    ----------
+    detector_factory:
+        ``factory(partition_customer_of) -> OnlineXatu`` — builds one
+        shard's detector from its slice of the address→customer map.  The
+        factory must give every shard the same model/threshold/stores
+        configuration, otherwise shard-count invariance is forfeit.
+    customer_of:
+        The full destination-address → customer-id map; the engine routes
+        flows to shards with it.
+    config:
+        A validated :class:`~repro.serve.ServeConfig`.
+    """
+
+    name = "serve"
+
+    def __init__(
+        self,
+        detector_factory: DetectorFactory,
+        customer_of: dict[int, int],
+        config: ServeConfig | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.customer_of = dict(customer_of)
+        self._factory = detector_factory
+        self.collector = FlowCollector()
+        self.shards = [
+            ShardWorker(
+                index,
+                self._shard_factory(index),
+                backend=self.config.backend,
+            )
+            for index in range(self.config.shards)
+        ]
+        self._minute = -1
+        self._pending: list[OnlineAlert] = []
+        self._pending_cdet: list[AlertRecord] = []
+        self._pending_ends: list[tuple[int, int]] = []
+        self._alerts_emitted = 0
+        self._alerts_suppressed = 0
+        self._degraded_minutes = 0
+        self._minutes_observed = 0
+        self._checkpoints_written = 0
+        self._closed = False
+
+    def _shard_factory(self, index: int) -> Callable[[], OnlineXatu]:
+        n = self.config.shards
+        partition = {
+            addr: cid for addr, cid in self.customer_of.items() if cid % n == index
+        }
+        factory = self._factory
+        return lambda: factory(partition)
+
+    # ------------------------------------------------------------------
+    # ingest
+    # ------------------------------------------------------------------
+    def ingest_datagram(self, blob: bytes) -> int:
+        """Receive one headered export datagram; returns its record count."""
+        return len(self.collector.ingest_datagram(blob))
+
+    def ingest_flows(self, flows: Sequence[FlowRecord]) -> int:
+        """Receive already-decoded flow records (bypasses the wire codec)."""
+        self.collector.records_received += len(flows)
+        self.collector._records.extend(flows)
+        return len(flows)
+
+    def ingest_cdet_alert(self, record: AlertRecord) -> None:
+        """Queue one incumbent-defense alert for broadcast to every shard
+        on the next ``tick`` (A2/A4/A5 stores are global signals)."""
+        self._pending_cdet.append(record)
+
+    def ingest_mitigation_end(self, customer_id: int, minute: int) -> None:
+        """Queue one mitigation-end notice (re-arms the customer)."""
+        self._pending_ends.append((customer_id, minute))
+
+    # ------------------------------------------------------------------
+    # the minute loop
+    # ------------------------------------------------------------------
+    def tick(self, minute: int) -> list[OnlineAlert]:
+        """Score one minute: drain the collector, fan out, merge alerts.
+
+        Must be called once per minute, monotonically — quiet minutes too
+        (absence of traffic is signal).  Returns the minute's merged
+        alerts (also available via :meth:`poll_alerts`).
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        if minute <= self._minute:
+            raise ValueError(f"minutes must advance: got {minute} after {self._minute}")
+        self._minute = minute
+        self._minutes_observed += 1
+        telemetry_on = obs_enabled()
+
+        flows = self.collector.drain()
+        by_shard: list[list[FlowRecord]] = [[] for _ in self.shards]
+        unrouted = 0
+        n = self.config.shards
+        for flow in flows:
+            customer_id = self.customer_of.get(flow.dst_addr)
+            if customer_id is None:
+                unrouted += 1
+                continue
+            by_shard[customer_id % n].append(flow)
+
+        cdet_alerts, self._pending_cdet = self._pending_cdet, []
+        ends, self._pending_ends = self._pending_ends, []
+
+        health = self.collector.feed_health()
+        degraded = health.loss_rate > self.config.degraded_loss_rate
+        if degraded:
+            self._degraded_minutes += 1
+
+        minute_alerts: list[OnlineAlert] = []
+        with trace("serve.tick"):
+            # Fan out before joining anything: with thread/process
+            # backends the shards score this minute concurrently.
+            dispatched = []
+            for shard, shard_flows in zip(self.shards, by_shard):
+                if not shard.healthy:
+                    continue
+                start = time.perf_counter()
+                try:
+                    shard.submit_step(minute, shard_flows, cdet_alerts, ends)
+                except ShardFailure:
+                    continue
+                dispatched.append((shard, start))
+            for shard, start in dispatched:
+                try:
+                    minute_alerts.extend(shard.collect())
+                except ShardFailure:
+                    pass
+                if telemetry_on:
+                    get_registry().histogram(
+                        "serve.shard_minute_seconds",
+                        "per-shard wall time for one minute",
+                    ).observe(time.perf_counter() - start, shard=str(shard.index))
+
+        minute_alerts.sort(key=_merge_key)
+        suppressed = degraded and self.config.degradation_policy == "suppress"
+        if suppressed:
+            self._alerts_suppressed += len(minute_alerts)
+            minute_alerts = []
+        self._pending.extend(minute_alerts)
+        self._alerts_emitted += len(minute_alerts)
+
+        if telemetry_on:
+            registry = get_registry()
+            registry.counter("serve.minutes", "minutes served").inc()
+            if minute_alerts:
+                registry.counter("serve.alerts", "merged alerts emitted").inc(
+                    len(minute_alerts)
+                )
+            if unrouted:
+                registry.counter(
+                    "serve.flows_unrouted", "flows dropped: unknown destination"
+                ).inc(unrouted)
+            if suppressed:
+                registry.counter(
+                    "serve.alerts_suppressed", "alerts withheld while degraded"
+                ).inc(self._alerts_suppressed)
+            registry.gauge(
+                "serve.feed_loss_rate", "collector-observed export loss rate"
+            ).set(health.loss_rate)
+            registry.gauge(
+                "serve.feed_degraded", "1 while the export feed is degraded"
+            ).set(1.0 if degraded else 0.0)
+            for shard in self.shards:
+                registry.gauge(
+                    "serve.shard_healthy", "1 while the shard worker is live"
+                ).set(1.0 if shard.healthy else 0.0, shard=str(shard.index))
+
+        if (
+            self.config.checkpoint_every
+            and self.config.checkpoint_dir is not None
+            and self._minutes_observed % self.config.checkpoint_every == 0
+        ):
+            self.checkpoint()
+        return minute_alerts
+
+    def poll_alerts(self) -> list[OnlineAlert]:
+        """Drain the merged alert stream accumulated since the last poll."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def run(
+        self, minutes: Iterable[tuple[int, Sequence[bytes]]]
+    ) -> list[OnlineAlert]:
+        """Convenience loop: ``(minute, datagrams)`` batches → merged alerts."""
+        alerts: list[OnlineAlert] = []
+        for minute, datagrams in minutes:
+            for blob in datagrams:
+                self.ingest_datagram(blob)
+            alerts.extend(self.tick(minute))
+        return alerts
+
+    # ------------------------------------------------------------------
+    # health
+    # ------------------------------------------------------------------
+    @property
+    def current_minute(self) -> int:
+        return self._minute
+
+    def feed_health(self) -> FeedHealth:
+        return self.collector.feed_health()
+
+    def shard_health(self) -> dict[int, bool]:
+        """Liveness of every shard worker."""
+        return {shard.index: shard.healthy for shard in self.shards}
+
+    def stats(self) -> dict:
+        """Engine-level counters (the checkpointed subset plus health)."""
+        return {
+            "minute": self._minute,
+            "minutes_observed": self._minutes_observed,
+            "alerts_emitted": self._alerts_emitted,
+            "alerts_suppressed": self._alerts_suppressed,
+            "degraded_minutes": self._degraded_minutes,
+            "checkpoints_written": self._checkpoints_written,
+            "healthy_shards": sum(1 for s in self.shards if s.healthy),
+            "shards": self.config.shards,
+        }
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def _engine_state(self) -> dict:
+        return {
+            "minute": self._minute,
+            "minutes_observed": self._minutes_observed,
+            "alerts_emitted": self._alerts_emitted,
+            "alerts_suppressed": self._alerts_suppressed,
+            "degraded_minutes": self._degraded_minutes,
+            "collector": self.collector.state_dict(),
+            "pending": [
+                [a.customer_id, a.minute, a.survival] for a in self._pending
+            ],
+            "pending_cdet": [
+                [
+                    r.customer_id,
+                    r.attack_type.value,
+                    r.detect_minute,
+                    r.end_minute,
+                    r.peak_bytes,
+                    sorted(int(a) for a in r.attackers),
+                ]
+                for r in self._pending_cdet
+            ],
+            "pending_ends": [list(pair) for pair in self._pending_ends],
+            "shards": self.config.shards,
+        }
+
+    def checkpoint(self, root: str | Path | None = None) -> Path:
+        """Snapshot the full engine + shard state to disk; returns the
+        checkpoint directory."""
+        root = root if root is not None else self.config.checkpoint_dir
+        if root is None:
+            raise ValueError("no checkpoint directory configured")
+        shard_states = [shard.state_dict() for shard in self.shards]
+        path = write_checkpoint(root, self._minute, shard_states, self._engine_state())
+        self._checkpoints_written += 1
+        if obs_enabled():
+            get_registry().counter(
+                "serve.checkpoints", "checkpoints written"
+            ).inc()
+        return path
+
+    def restore(self, path: str | Path | None = None) -> int:
+        """Load a checkpoint (default: the newest under the configured
+        directory) into this engine; returns the restored minute.
+
+        The engine must have been built with the same shard count the
+        checkpoint was written with.
+        """
+        from ..synth.attacks import AttackType
+
+        root = path if path is not None else self.config.checkpoint_dir
+        if root is None:
+            raise ValueError("no checkpoint directory configured")
+        minute, shard_states, engine_state = read_checkpoint(root)
+        if len(shard_states) != len(self.shards):
+            raise ValueError(
+                f"checkpoint has {len(shard_states)} shards, engine has "
+                f"{len(self.shards)}"
+            )
+        for shard, state in zip(self.shards, shard_states):
+            shard.load_state_dict(state)
+        self._minute = int(engine_state["minute"])
+        self._minutes_observed = int(engine_state["minutes_observed"])
+        self._alerts_emitted = int(engine_state["alerts_emitted"])
+        self._alerts_suppressed = int(engine_state["alerts_suppressed"])
+        self._degraded_minutes = int(engine_state["degraded_minutes"])
+        self.collector = FlowCollector()
+        self.collector.load_state_dict(engine_state["collector"])
+        self._pending = [
+            OnlineAlert(int(c), int(m), float(s))
+            for c, m, s in engine_state["pending"]
+        ]
+        self._pending_cdet = [
+            AlertRecord(
+                customer_id=int(c),
+                attack_type=AttackType(t),
+                detect_minute=int(d),
+                end_minute=int(e),
+                peak_bytes=float(p),
+                attackers=frozenset(int(a) for a in attackers),
+            )
+            for c, t, d, e, p, attackers in engine_state["pending_cdet"]
+        ]
+        self._pending_ends = [
+            (int(c), int(m)) for c, m in engine_state["pending_ends"]
+        ]
+        return minute
+
+    def close(self) -> None:
+        """Stop every shard worker (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ServeEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

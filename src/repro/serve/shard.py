@@ -1,0 +1,235 @@
+"""One serving shard: an :class:`~repro.core.OnlineXatu` partition plus an
+execution backend.
+
+The worker speaks a tiny command protocol (``step`` / ``state`` / ``load``
+/ ``reset`` / ``stop``) over a connection-like object, so the same loop
+serves all three backends:
+
+* ``inline``  — commands execute synchronously in the caller's thread;
+* ``thread``  — a daemon thread runs the loop over a queue pair;
+* ``process`` — a forked child runs the loop over a ``multiprocessing``
+  pipe (the only backend that escapes the GIL for the numpy scoring
+  work).
+
+``submit_step`` / ``collect`` split each minute into a dispatch and a
+join, so the engine can fan a minute out to every shard before waiting on
+any of them — that overlap is the whole point of the thread/process
+backends.  A worker that raises is marked unhealthy and stops scoring
+(the engine degrades gracefully instead of crashing the feed).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+from typing import Callable, Sequence
+
+from ..core.online import OnlineAlert, OnlineXatu
+from ..netflow.records import FlowRecord
+from ..signals.history import AlertRecord
+
+__all__ = ["ShardWorker", "ShardFailure"]
+
+
+class ShardFailure(RuntimeError):
+    """A shard worker raised (or died) while executing a command."""
+
+
+class _QueuePairConn:
+    """``Connection``-shaped wrapper over two queues (thread backend)."""
+
+    def __init__(self, send_q: queue.Queue, recv_q: queue.Queue) -> None:
+        self._send_q = send_q
+        self._recv_q = recv_q
+
+    def send(self, obj) -> None:
+        self._send_q.put(obj)
+
+    def recv(self):
+        return self._recv_q.get()
+
+
+def _worker_loop(detector: OnlineXatu, conn) -> None:
+    """Serve commands until ``stop``; exceptions become error replies."""
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        op = message[0]
+        if op == "stop":
+            conn.send(("ok", None))
+            return
+        try:
+            if op == "step":
+                _, minute, flows, cdet_alerts, mitigation_ends = message
+                for record in cdet_alerts:
+                    detector.ingest_cdet_alert(record)
+                for customer_id, end_minute in mitigation_ends:
+                    detector.ingest_mitigation_end(customer_id, end_minute)
+                result = detector.step(minute, flows)
+            elif op == "state":
+                result = detector.state_dict()
+            elif op == "load":
+                detector.load_state_dict(message[1])
+                result = None
+            elif op == "reset":
+                detector.reset()
+                result = None
+            else:
+                raise ValueError(f"unknown shard command {op!r}")
+            conn.send(("ok", result))
+        except Exception as exc:  # surfaced to the engine as ShardFailure
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+
+
+class ShardWorker:
+    """Owns one detector partition behind a chosen execution backend."""
+
+    def __init__(
+        self,
+        index: int,
+        detector_factory: Callable[[], OnlineXatu],
+        backend: str = "inline",
+    ) -> None:
+        self.index = index
+        self.backend = backend
+        self.healthy = True
+        self._pending = 0
+        if backend == "inline":
+            self._detector = detector_factory()
+            self._inline_result = None
+        elif backend == "thread":
+            to_worker: queue.Queue = queue.Queue()
+            to_engine: queue.Queue = queue.Queue()
+            self._conn = _QueuePairConn(to_worker, to_engine)
+            worker_conn = _QueuePairConn(to_engine, to_worker)
+            self._thread = threading.Thread(
+                target=_worker_loop,
+                args=(detector_factory(), worker_conn),
+                name=f"serve-shard-{index}",
+                daemon=True,
+            )
+            self._thread.start()
+        elif backend == "process":
+            ctx = multiprocessing.get_context()
+            self._conn, child_conn = ctx.Pipe()
+            # The detector is built in the parent and inherited by the
+            # fork; all live state then belongs to the child (the parent
+            # reads it back via the ``state`` command).
+            self._process = ctx.Process(
+                target=_worker_loop,
+                args=(detector_factory(), child_conn),
+                name=f"serve-shard-{index}",
+                daemon=True,
+            )
+            self._process.start()
+        else:
+            raise ValueError(f"unknown shard backend {backend!r}")
+
+    # ------------------------------------------------------------------
+    def _call(self, *message):
+        """Synchronous command round-trip."""
+        self.submit(*message)
+        return self.collect()
+
+    def submit(self, *message) -> None:
+        """Dispatch one command without waiting for its reply."""
+        if not self.healthy:
+            raise ShardFailure(f"shard {self.index} is unhealthy")
+        if self._pending:
+            raise ShardFailure(f"shard {self.index} already has a pending command")
+        self._pending = 1
+        if self.backend == "inline":
+            # Execute immediately with the same semantics as _worker_loop.
+            op = message[0]
+            try:
+                if op == "step":
+                    _, minute, flows, cdet_alerts, mitigation_ends = message
+                    for record in cdet_alerts:
+                        self._detector.ingest_cdet_alert(record)
+                    for customer_id, end_minute in mitigation_ends:
+                        self._detector.ingest_mitigation_end(customer_id, end_minute)
+                    self._inline_result = ("ok", self._detector.step(minute, flows))
+                elif op == "state":
+                    self._inline_result = ("ok", self._detector.state_dict())
+                elif op == "load":
+                    self._detector.load_state_dict(message[1])
+                    self._inline_result = ("ok", None)
+                elif op == "reset":
+                    self._detector.reset()
+                    self._inline_result = ("ok", None)
+                elif op == "stop":
+                    self._inline_result = ("ok", None)
+                else:
+                    raise ValueError(f"unknown shard command {op!r}")
+            except Exception as exc:
+                self._inline_result = ("error", f"{type(exc).__name__}: {exc}")
+        else:
+            self._conn.send(message)
+
+    def collect(self):
+        """Wait for and unwrap the pending command's reply."""
+        if not self._pending:
+            raise ShardFailure(f"shard {self.index} has no pending command")
+        self._pending = 0
+        if self.backend == "inline":
+            status, payload = self._inline_result
+            self._inline_result = None
+        else:
+            try:
+                status, payload = self._conn.recv()
+            except (EOFError, OSError) as exc:
+                self.healthy = False
+                raise ShardFailure(f"shard {self.index} died: {exc}") from exc
+        if status != "ok":
+            self.healthy = False
+            raise ShardFailure(f"shard {self.index} failed: {payload}")
+        return payload
+
+    # ------------------------------------------------------------------
+    def submit_step(
+        self,
+        minute: int,
+        flows: Sequence[FlowRecord],
+        cdet_alerts: Sequence[AlertRecord] = (),
+        mitigation_ends: Sequence[tuple[int, int]] = (),
+    ) -> None:
+        self.submit("step", minute, list(flows), list(cdet_alerts), list(mitigation_ends))
+
+    def step(
+        self,
+        minute: int,
+        flows: Sequence[FlowRecord],
+        cdet_alerts: Sequence[AlertRecord] = (),
+        mitigation_ends: Sequence[tuple[int, int]] = (),
+    ) -> list[OnlineAlert]:
+        self.submit_step(minute, flows, cdet_alerts, mitigation_ends)
+        return self.collect()
+
+    def state_dict(self) -> dict:
+        return self._call("state")
+
+    def load_state_dict(self, state: dict) -> None:
+        self._call("load", state)
+
+    def reset(self) -> None:
+        self._call("reset")
+
+    def close(self) -> None:
+        """Stop the backend (idempotent; tolerates a dead worker)."""
+        if self.backend == "inline":
+            return
+        try:
+            if self.healthy and not self._pending:
+                self._conn.send(("stop",))
+                self._conn.recv()
+        except (EOFError, OSError, ShardFailure):
+            pass
+        if self.backend == "process":
+            self._process.join(timeout=5)
+            if self._process.is_alive():
+                self._process.terminate()
+        elif self.backend == "thread":
+            self._thread.join(timeout=5)

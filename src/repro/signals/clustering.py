@@ -154,3 +154,28 @@ class AttackerCustomerGraph:
     def clustering_snapshot(self, minute: int) -> dict[int, tuple[float, float, float]]:
         """All customers' coefficients at ``minute`` (for Figure 16)."""
         return bipartite_clustering(self._neighbors_at(minute))
+
+    def prune_before(self, minute: int) -> int:
+        """Drop alerts that can no longer enter any window at ``minute`` or
+        later; returns the number pruned (bounded-memory serving)."""
+        cutoff = minute - self.window_minutes
+        kept = [a for a in self._alerts if a.minute > cutoff]
+        pruned = len(self._alerts) - len(kept)
+        self._alerts = kept
+        return pruned
+
+    def state_dict(self) -> dict:
+        """Canonical snapshot (alert order preserved, groups sorted)."""
+        return {
+            "window_minutes": self.window_minutes,
+            "alerts": [
+                [a.minute, a.customer_id, sorted(a.groups)] for a in self._alerts
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.window_minutes = int(state["window_minutes"])
+        self._alerts = [
+            _WindowAlert(int(minute), int(customer), frozenset(int(g) for g in groups))
+            for minute, customer, groups in state["alerts"]
+        ]

@@ -92,6 +92,24 @@ class PreviousAttackerStore:
                 return True
         return False
 
+    def state_dict(self) -> dict:
+        """Canonical snapshot (customers and attacker sets sorted)."""
+        return {
+            "timeline": [
+                [customer, [[eff, sorted(attackers)] for eff, attackers in entries]]
+                for customer, entries in sorted(self._timeline.items())
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._timeline = {
+            int(customer): [
+                (int(eff), frozenset(int(a) for a in attackers))
+                for eff, attackers in entries
+            ]
+            for customer, entries in state["timeline"]
+        }
+
 
 class AttackHistoryStore:
     """Recency-weighted (type, severity) history per customer — 18 features.
@@ -166,3 +184,20 @@ class AttackHistoryStore:
 
     def alerts_before(self, customer_id: int, minute: int) -> int:
         return sum(1 for end, *_ in self._alerts.get(customer_id, []) if end <= minute)
+
+    def state_dict(self) -> dict:
+        """Canonical snapshot of the per-customer alert tuples."""
+        return {
+            "decay_minutes": self.decay_minutes,
+            "alerts": [
+                [customer, [list(rec) for rec in records]]
+                for customer, records in sorted(self._alerts.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.decay_minutes = float(state["decay_minutes"])
+        self._alerts = {
+            int(customer): [tuple(int(v) for v in rec) for rec in records]
+            for customer, records in state["alerts"]
+        }

@@ -106,7 +106,7 @@ def compute_golden_arrays(spec: GoldenSpec | None = None) -> dict[str, np.ndarra
 
     spec = spec or GoldenSpec()
     trace = TraceGenerator(spec.scenario()).generate()
-    alerts = NetScoutDetector().run(trace)
+    alerts = NetScoutDetector().detect(trace)
     labeled = [a for a in alerts if a.event_id >= 0]
     if not labeled:
         raise RuntimeError("golden scenario produced no labeled alerts")

@@ -1,0 +1,528 @@
+"""The sharded, checkpointable serving engine (repro.serve).
+
+The three guarantees the engine sells, each asserted here:
+
+* **shard-count invariance** — the merged alert stream is identical for
+  any shard count (incumbent alerts are broadcast, history/graph stores
+  are global);
+* **crash equivalence** — a run killed and restored from a checkpoint
+  emits the same alerts *and* the same final checkpoint bytes as a run
+  that never stopped;
+* **graceful degradation** — feed loss and shard failures degrade the
+  output, never the process.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineXatu, XatuModel
+from repro.core.online import OnlineAlert
+from repro.netflow import DatagramCodec, FlowRecord, RouteTable
+from repro.serve import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointFormatError,
+    ServeConfig,
+    ServeEngine,
+    ShardFailure,
+    ShardWorker,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.signals import FeatureScaler
+from repro.signals.history import AlertRecord
+from repro.synth.attacks import AttackType
+from tests.conftest import small_model_config
+
+N_CUSTOMERS = 6
+ADDRESS_OF = {50_000 + i: i for i in range(N_CUSTOMERS)}  # addr -> customer
+
+
+# ----------------------------------------------------------------------
+# workload + factories
+# ----------------------------------------------------------------------
+def _minutes_of_flows(n_minutes: int, seed: int = 7) -> list[list[FlowRecord]]:
+    """A deterministic synthetic feed: every customer, every minute."""
+    rng = np.random.default_rng(seed)
+    return [
+        [
+            FlowRecord(
+                timestamp=minute,
+                src_addr=int(rng.integers(1, 2**31)),
+                dst_addr=address,
+                src_port=int(rng.integers(1024, 65535)),
+                dst_port=443,
+                protocol=6,
+                packets=int(rng.integers(1, 40)),
+                bytes_=int(rng.integers(200, 40_000)),
+            )
+            for address in ADDRESS_OF
+            for _ in range(2)
+        ]
+        for minute in range(n_minutes)
+    ]
+
+
+def _xatu_factory(threshold: float = 0.9):
+    """A deterministic OnlineXatu factory: same weights for every call."""
+    route_table = RouteTable()
+    route_table.announce((0, 2**32 - 1), origin_asn=1)
+    config = small_model_config()
+
+    def factory(partition):
+        scaler = FeatureScaler()
+        scaler.mean_ = np.zeros(273)
+        scaler.std_ = np.ones(273)
+        model = XatuModel(config)
+        model.eval()
+        return OnlineXatu(
+            model=model,
+            scaler=scaler,
+            threshold=threshold,
+            customer_of=partition,
+            blocklist=set(),
+            route_table=route_table,
+        )
+
+    return factory
+
+
+class StubDetector:
+    """Protocol-shaped deterministic detector: one alert per flow."""
+
+    def __init__(self, partition, fail_at=None):
+        self.partition = dict(partition)
+        self.minute = -1
+        self.cdet_seen = []
+        self.ends_seen = []
+        self.fail_at = fail_at
+
+    def ingest_cdet_alert(self, record):
+        self.cdet_seen.append(record.customer_id)
+
+    def ingest_mitigation_end(self, customer_id, minute):
+        self.ends_seen.append((customer_id, minute))
+
+    def step(self, minute, flows):
+        if self.fail_at is not None and minute >= self.fail_at:
+            raise RuntimeError("induced shard failure")
+        self.minute = minute
+        return [
+            OnlineAlert(self.partition[f.dst_addr], minute, 0.25)
+            for f in flows
+            if f.dst_addr in self.partition
+        ]
+
+    def state_dict(self):
+        return {"minute": self.minute}
+
+    def load_state_dict(self, state):
+        self.minute = state["minute"]
+
+    def reset(self):
+        self.minute = -1
+
+
+def _stub_engine(shards=2, fail_at=None, **config_kwargs) -> ServeEngine:
+    return ServeEngine(
+        lambda partition: StubDetector(partition, fail_at=fail_at),
+        ADDRESS_OF,
+        ServeConfig(shards=shards, **config_kwargs),
+    )
+
+
+def _cdet_record(customer_id: int, minute: int) -> AlertRecord:
+    return AlertRecord(
+        customer_id=customer_id,
+        attack_type=AttackType.TCP_SYN,
+        detect_minute=minute,
+        end_minute=minute + 5,
+        peak_bytes=1e6,
+        attackers=frozenset({11, 12}),
+    )
+
+
+def _drive(engine, codec, minutes, start=0, cdet_at=()):
+    """Feed encoded datagrams minute-by-minute; returns alert tuples.
+
+    The codec is passed in (not rebuilt) because exporters do not restart
+    when the engine does — their flow sequence must run on across an
+    engine restore for the feed-health accounting to stay truthful.
+    """
+    alerts = []
+    for offset, flows in enumerate(minutes):
+        minute = start + offset
+        engine.ingest_datagram(codec.encode(flows, unix_secs=minute * 60))
+        if minute in cdet_at:
+            engine.ingest_cdet_alert(_cdet_record(0, minute))
+        alerts.extend(
+            (a.minute, a.customer_id, a.survival) for a in engine.tick(minute)
+        )
+    return alerts
+
+
+# ----------------------------------------------------------------------
+# config
+# ----------------------------------------------------------------------
+class TestServeConfig:
+    def test_defaults_validate(self):
+        ServeConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"backend": "coroutine"},
+            {"checkpoint_every": -1},
+            {"degraded_loss_rate": 1.5},
+            {"degradation_policy": "panic"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs).validate()
+
+    def test_engine_validates_config(self):
+        with pytest.raises(ValueError):
+            _stub_engine(shards=0)
+
+
+# ----------------------------------------------------------------------
+# checkpoint files
+# ----------------------------------------------------------------------
+class TestCheckpointFiles:
+    def test_round_trip(self, tmp_path):
+        shard_states = [{"minute": 9, "k": [1, 2]}, {"minute": 9}]
+        engine_state = {"minute": 9, "pending": []}
+        path = write_checkpoint(tmp_path, 9, shard_states, engine_state)
+        assert path.name == "ckpt-00000009"
+        minute, shards, engine = read_checkpoint(path)
+        assert (minute, shards, engine) == (9, shard_states, engine_state)
+
+    def test_latest_pointer_and_listing(self, tmp_path):
+        write_checkpoint(tmp_path, 3, [{}], {})
+        newest = write_checkpoint(tmp_path, 7, [{}], {})
+        assert latest_checkpoint(tmp_path) == newest
+        assert [p.name for p in list_checkpoints(tmp_path)] == [
+            "ckpt-00000003",
+            "ckpt-00000007",
+        ]
+        # reading the root resolves through LATEST
+        minute, _, _ = read_checkpoint(tmp_path)
+        assert minute == 7
+
+    def test_future_format_version_is_rejected(self, tmp_path):
+        path = write_checkpoint(tmp_path, 1, [{}], {})
+        manifest_path = path / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["format_version"] == CHECKPOINT_FORMAT_VERSION
+        manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointFormatError):
+            read_checkpoint(path)
+
+    def test_empty_root_has_no_latest(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert list_checkpoints(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# engine mechanics (stub detector, inline backend)
+# ----------------------------------------------------------------------
+class TestEngineMechanics:
+    def test_merged_stream_is_ordered_and_routed(self):
+        with _stub_engine(shards=3) as engine:
+            flows = _minutes_of_flows(1)[0]
+            stray = FlowRecord(
+                timestamp=0, src_addr=1, dst_addr=999, src_port=1, dst_port=2,
+                protocol=6, packets=1, bytes_=10,
+            )
+            engine.ingest_flows(flows + [stray])
+            alerts = engine.tick(0)
+            # every routed flow alerted (stub), none for the unknown address
+            assert len(alerts) == len(flows)
+            keys = [(a.minute, a.customer_id) for a in alerts]
+            assert keys == sorted(keys)
+            assert all(a.customer_id in range(N_CUSTOMERS) for a in alerts)
+            # poll_alerts drains the same stream exactly once
+            assert [(a.minute, a.customer_id) for a in engine.poll_alerts()] == keys
+            assert engine.poll_alerts() == []
+
+    def test_minutes_must_advance(self):
+        with _stub_engine() as engine:
+            engine.tick(5)
+            with pytest.raises(ValueError, match="advance"):
+                engine.tick(5)
+
+    def test_closed_engine_refuses_ticks(self):
+        engine = _stub_engine()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.tick(0)
+
+    def test_cdet_alerts_broadcast_to_every_shard(self):
+        with _stub_engine(shards=3) as engine:
+            engine.ingest_cdet_alert(_cdet_record(4, 0))
+            engine.ingest_mitigation_end(4, 2)
+            engine.tick(0)
+            for shard in engine.shards:
+                assert shard._detector.cdet_seen == [4]
+                assert shard._detector.ends_seen == [(4, 2)]
+
+    def test_restore_rejects_shard_count_mismatch(self, tmp_path):
+        with _stub_engine(shards=2, checkpoint_dir=tmp_path) as engine:
+            engine.tick(0)
+            engine.checkpoint()
+        with _stub_engine(shards=3, checkpoint_dir=tmp_path) as engine:
+            with pytest.raises(ValueError, match="shards"):
+                engine.restore()
+
+    def test_periodic_checkpoints(self, tmp_path):
+        with _stub_engine(
+            shards=1, checkpoint_dir=tmp_path, checkpoint_every=2
+        ) as engine:
+            for minute in range(6):
+                engine.tick(minute)
+            assert engine.stats()["checkpoints_written"] == 3
+        assert len(list_checkpoints(tmp_path)) == 3
+
+
+# ----------------------------------------------------------------------
+# degradation
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def _run_with_loss(self, engine):
+        """Three minutes of feed with the middle datagram dropped."""
+        codec = DatagramCodec(engine_id=1)
+        minutes = _minutes_of_flows(3)
+        alerts = []
+        for minute, flows in enumerate(minutes):
+            blob = codec.encode(flows, unix_secs=minute * 60)
+            if minute != 1:  # minute 1's datagram is lost in transit
+                engine.ingest_datagram(blob)
+            alerts.extend(
+                (a.minute, a.customer_id) for a in engine.tick(minute)
+            )
+        return alerts
+
+    def test_flag_policy_keeps_alerting(self):
+        with _stub_engine(shards=2, degraded_loss_rate=0.05) as engine:
+            alerts = self._run_with_loss(engine)
+            stats = engine.stats()
+        assert stats["degraded_minutes"] > 0
+        assert stats["alerts_suppressed"] == 0
+        assert alerts  # flagged, not muzzled
+        assert engine.feed_health().loss_rate > 0.05
+
+    def test_suppress_policy_withholds_alerts_but_state_advances(self):
+        with _stub_engine(
+            shards=2, degraded_loss_rate=0.05, degradation_policy="suppress"
+        ) as engine:
+            alerts = self._run_with_loss(engine)
+            stats = engine.stats()
+            # minute 0 (clean feed) alerted normally; minute 1's flows were
+            # lost with the datagram, and by minute 2 the tracker has seen
+            # the sequence gap, so its alerts are suppressed
+            assert {a[0] for a in alerts} == {0}
+            assert stats["alerts_suppressed"] > 0
+            # the shards still observed every minute
+            for shard in engine.shards:
+                assert shard._detector.minute == 2
+
+    def test_failed_shard_degrades_not_crashes(self):
+        with _stub_engine(shards=2, fail_at=1) as engine:
+            engine.ingest_flows(_minutes_of_flows(1)[0])
+            assert engine.tick(0)
+            assert all(engine.shard_health().values())
+            engine.ingest_flows(_minutes_of_flows(1)[0])
+            engine.tick(1)  # both shards raise, engine survives
+            assert not any(engine.shard_health().values())
+            assert engine.tick(2) == []  # still serving, nothing to score with
+            assert engine.stats()["healthy_shards"] == 0
+
+
+# ----------------------------------------------------------------------
+# shard workers
+# ----------------------------------------------------------------------
+class TestShardWorker:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            ShardWorker(0, lambda: StubDetector({}), backend="fiber")
+
+    def test_failure_marks_unhealthy_and_refuses_submits(self):
+        worker = ShardWorker(0, lambda: StubDetector({}, fail_at=0))
+        with pytest.raises(ShardFailure, match="induced"):
+            worker.step(0, [])
+        assert not worker.healthy
+        with pytest.raises(ShardFailure, match="unhealthy"):
+            worker.submit_step(1, [])
+        worker.close()
+
+    def test_collect_without_submit_fails(self):
+        worker = ShardWorker(0, lambda: StubDetector({}))
+        with pytest.raises(ShardFailure, match="no pending"):
+            worker.collect()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_remote_backends_match_inline(self, backend):
+        """state/step/reset round-trip through the worker protocol."""
+        partition = dict(ADDRESS_OF)
+        inline = ShardWorker(0, lambda: StubDetector(partition))
+        remote = ShardWorker(0, lambda: StubDetector(partition), backend=backend)
+        try:
+            flows = _minutes_of_flows(2)
+            for minute in range(2):
+                a = inline.step(minute, flows[minute])
+                b = remote.step(minute, flows[minute])
+                assert [(x.minute, x.customer_id) for x in a] == [
+                    (x.minute, x.customer_id) for x in b
+                ]
+            assert inline.state_dict() == remote.state_dict()
+            remote.reset()
+            assert remote.state_dict() == {"minute": -1}
+        finally:
+            remote.close()
+
+
+class TestGradModeIsolation:
+    """The thread backend scores under no_grad concurrently; the grad
+    switch must be per-thread or one worker's restore clobbers another's
+    (leaving gradients disabled process-wide)."""
+
+    def test_no_grad_is_thread_local(self):
+        import threading
+
+        from repro.nn.autograd import is_grad_enabled, no_grad
+
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def worker():
+            with no_grad():
+                seen["inside"] = is_grad_enabled()
+                entered.set()
+                release.wait(5)
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert entered.wait(5)
+        # the worker holds no_grad right now; this thread is unaffected
+        assert is_grad_enabled()
+        release.set()
+        thread.join(5)
+        assert seen["inside"] is False
+        assert is_grad_enabled()
+
+
+# ----------------------------------------------------------------------
+# the real detector: invariance, backends, crash equivalence
+# ----------------------------------------------------------------------
+def _xatu_engine(shards, backend="inline", checkpoint_dir=None, threshold=0.9):
+    return ServeEngine(
+        _xatu_factory(threshold),
+        ADDRESS_OF,
+        ServeConfig(shards=shards, backend=backend, checkpoint_dir=checkpoint_dir),
+    )
+
+
+MINUTES = 12
+RESTART_AT = 5
+
+
+class TestShardCountInvariance:
+    def test_merged_stream_identical_for_any_shard_count(self):
+        streams = {}
+        for shards in (1, 2, 3):
+            with _xatu_engine(shards) as engine:
+                streams[shards] = _drive(
+                    engine, DatagramCodec(engine_id=1),
+                    _minutes_of_flows(MINUTES), cdet_at={3},
+                )
+        assert streams[1] == streams[2] == streams[3]
+        assert streams[1], "the workload should produce alerts"
+
+
+class TestBackendEquivalence:
+    def test_thread_and_process_match_inline(self):
+        streams = {}
+        for backend in ("inline", "thread", "process"):
+            with _xatu_engine(2, backend=backend) as engine:
+                streams[backend] = _drive(
+                    engine, DatagramCodec(engine_id=1), _minutes_of_flows(6),
+                )
+        assert streams["inline"] == streams["thread"] == streams["process"]
+
+
+class TestCrashEquivalence:
+    def test_restored_run_matches_uninterrupted_run(self, tmp_path):
+        minutes = _minutes_of_flows(MINUTES)
+
+        # the run that never stops
+        with _xatu_engine(2, checkpoint_dir=tmp_path / "base") as engine:
+            baseline = _drive(engine, DatagramCodec(engine_id=1), minutes, cdet_at={3})
+            engine.checkpoint()
+
+        # the run that crashes after RESTART_AT and restores
+        codec = DatagramCodec(engine_id=1)
+        ckpt_dir = tmp_path / "crash"
+        engine = _xatu_engine(2, checkpoint_dir=ckpt_dir)
+        restarted = _drive(engine, codec, minutes[: RESTART_AT + 1], cdet_at={3})
+        engine.checkpoint()
+        engine.close()
+
+        engine = _xatu_engine(2, checkpoint_dir=ckpt_dir)
+        assert engine.restore() == RESTART_AT
+        assert engine.current_minute == RESTART_AT
+        restarted += _drive(
+            engine, codec, minutes[RESTART_AT + 1 :], start=RESTART_AT + 1
+        )
+        engine.checkpoint()
+        engine.close()
+
+        assert baseline, "the workload should produce alerts"
+        assert restarted == baseline
+
+        # the recovery guarantee is byte-level: both final checkpoints
+        # contain identical files
+        base_path = latest_checkpoint(tmp_path / "base")
+        crash_path = latest_checkpoint(ckpt_dir)
+        assert base_path.name == crash_path.name
+        for name in ("MANIFEST.json", "engine.pkl", "shard-00.pkl", "shard-01.pkl"):
+            assert (base_path / name).read_bytes() == (
+                crash_path / name
+            ).read_bytes(), name
+
+
+class TestOnlineStateRoundTrip:
+    def test_state_dict_round_trips_byte_identically(self):
+        factory = _xatu_factory()
+        route_table = RouteTable()
+        route_table.announce((0, 2**32 - 1), origin_asn=1)
+        minutes = _minutes_of_flows(8)
+
+        online = factory(ADDRESS_OF)
+        for minute in range(4):
+            online.step(minute, minutes[minute])
+        online.ingest_cdet_alert(_cdet_record(2, 3))
+        state = online.state_dict()
+
+        clone = OnlineXatu.from_state_dict(state, route_table)
+        assert pickle.dumps(clone.state_dict(), protocol=4) == pickle.dumps(
+            state, protocol=4
+        )
+
+        # and the clone continues exactly where the original would
+        for minute in range(4, 8):
+            original_alerts = online.step(minute, minutes[minute])
+            clone_alerts = clone.step(minute, minutes[minute])
+            assert [(a.minute, a.customer_id, a.survival) for a in original_alerts] == [
+                (a.minute, a.customer_id, a.survival) for a in clone_alerts
+            ]
+        assert pickle.dumps(clone.state_dict(), protocol=4) == pickle.dumps(
+            online.state_dict(), protocol=4
+        )
