@@ -4,7 +4,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: verify test fast golden-check golden-record bench bench-full \
-        bench-check metrics-selftest telemetry serve-smoke
+        bench-check metrics-selftest telemetry serve-smoke lint \
+        lint-baseline sanitize-test
 
 test:
 	$(PY) -m pytest -x -q
@@ -57,4 +58,20 @@ serve-smoke:
 	cmp /tmp/repro-serve/alerts-base.json /tmp/repro-serve/alerts-restart.json
 	@echo "crash-equivalence holds: alert streams byte-identical"
 
-verify: test golden-check metrics-selftest
+# xatulint (docs/ANALYSIS.md): the domain-aware static-analysis gate.
+# Known-intentional findings live in lint-baseline.json with written
+# reasons; --strict also fails on stale baseline entries.
+lint:
+	$(PY) -m repro.cli lint --strict
+
+# Regenerate the baseline after fixing or intentionally adding findings
+# (new entries get a TODO reason that must be replaced by hand).
+lint-baseline:
+	$(PY) -m repro.cli lint --write-baseline
+
+# Tier-1 suite under the runtime sanitizer: frozen tape buffers +
+# NaN/inf kernel-boundary guards (docs/ANALYSIS.md).
+sanitize-test:
+	REPRO_SANITIZE=1 $(PY) -m pytest -x -q -m "not slow"
+
+verify: lint test golden-check metrics-selftest

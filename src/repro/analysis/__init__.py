@@ -1,0 +1,66 @@
+"""repro.analysis — xatulint: domain-aware static analysis + sanitizer.
+
+The correctness gate for the autograd/serving stack (docs/ANALYSIS.md):
+
+* :mod:`repro.analysis.framework` — the AST rule framework: registry,
+  :class:`Finding`, deterministic file drivers, inline suppressions;
+* :mod:`repro.analysis.rules` — the XL001–XL010 domain rules (tape
+  immutability, no_grad hygiene, global-switch leaks, reproducibility,
+  thread ownership, deprecated APIs, alert-order determinism);
+* :mod:`repro.analysis.baseline` — the committed suppression ledger
+  (``lint-baseline.json``) with per-entry written reasons;
+* :mod:`repro.analysis.sanitizer` — the ``REPRO_SANITIZE=1`` runtime
+  backstop: frozen tape buffers and NaN/inf kernel-boundary guards.
+
+Run it via ``python -m repro.cli lint --strict`` or ``make lint``.
+
+This package is imported by :mod:`repro.nn.autograd` (for the sanitizer
+switch), so it must not import any repro subpackage.
+"""
+
+from .baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline, BaselineEntry
+from .framework import (
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    get_rule,
+    iter_python_files,
+    register,
+)
+from .rules import ALL_RULE_IDS
+from .sanitizer import (
+    SanitizeError,
+    check_finite,
+    freeze_tape_buffer,
+    sanitize_enabled,
+    sanitized,
+    set_sanitize,
+)
+
+__all__ = [
+    "ALL_RULE_IDS",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "Baseline",
+    "BaselineEntry",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "SanitizeError",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "check_finite",
+    "freeze_tape_buffer",
+    "get_rule",
+    "iter_python_files",
+    "register",
+    "sanitize_enabled",
+    "sanitized",
+    "set_sanitize",
+]

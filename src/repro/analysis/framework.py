@@ -1,0 +1,314 @@
+"""xatulint — the AST framework: contexts, rules, findings, drivers.
+
+A *rule* is a small class that walks one file's AST and yields
+:class:`Finding`\\ s.  Rules register themselves into a module-level
+registry via the :func:`register` decorator, so adding a rule is one
+class in :mod:`repro.analysis.rules` (see docs/ANALYSIS.md for the
+how-to).  The framework deliberately knows nothing about the domain —
+everything Xatu-specific (tape immutability, grad-mode hygiene, alert
+determinism) lives in the rules.
+
+Design points that matter for a lint gate:
+
+* **Deterministic output** — files are visited in sorted order and
+  findings are sorted by ``(path, line, col, rule)``, so two runs over
+  the same tree produce byte-identical reports.
+* **Line-content fingerprints** — a finding carries the stripped source
+  line it points at; the baseline (:mod:`repro.analysis.baseline`)
+  matches on ``(rule, path, line_text)`` rather than line numbers, so
+  unrelated edits don't churn the suppression file.
+* **Inline escapes** — ``# xatulint: ignore[XL001]`` on the offending
+  line suppresses that rule there (``ignore`` with no bracket list
+  suppresses every rule); use sparingly, prefer the baseline file which
+  forces a written reason.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "Rule",
+    "FileContext",
+    "register",
+    "all_rules",
+    "get_rule",
+    "analyze_source",
+    "analyze_paths",
+    "iter_python_files",
+]
+
+
+class Severity:
+    """Finding severities, ordered: error > warning > info."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    _ORDER = {ERROR: 0, WARNING: 1, INFO: 2}
+
+    @classmethod
+    def rank(cls, severity: str) -> int:
+        return cls._ORDER.get(severity, 99)
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``line_text`` is the stripped source line — the stable half of the
+    baseline fingerprint (line *numbers* churn with every edit above the
+    finding; line *content* only churns when the flagged code itself
+    changes).
+    """
+
+    rule: str
+    severity: str
+    path: str  # repo-relative, POSIX separators
+    line: int
+    col: int
+    message: str
+    fix_hint: str = ""
+    line_text: str = ""
+
+    @property
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.line_text)
+
+    def render(self) -> str:
+        hint = f"  [{self.fix_hint}]" if self.fix_hint else ""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}{hint}"
+        )
+
+
+_SUPPRESS_RE = re.compile(r"#\s*xatulint:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
+
+
+class FileContext:
+    """Everything a rule needs to inspect one parsed source file."""
+
+    def __init__(self, rel_path: str, source: str, tree: ast.Module) -> None:
+        self.rel_path = PurePosixPath(rel_path).as_posix()
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- path scoping ---------------------------------------------------
+    def in_subpath(self, *fragments: str) -> bool:
+        """Whether the file lives under any ``fragment`` path component
+        (``ctx.in_subpath("serve")`` matches ``src/repro/serve/shard.py``)."""
+        parts = PurePosixPath(self.rel_path).parts
+        return any(fragment in parts for fragment in fragments)
+
+    # -- source access --------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, lineno: int, rule_id: str) -> bool:
+        """Inline ``# xatulint: ignore[...]`` escape on ``lineno``."""
+        match = _SUPPRESS_RE.search(self.line_text(lineno))
+        if match is None:
+            return False
+        listed = match.group(1)
+        if listed is None:
+            return True
+        return rule_id in {part.strip() for part in listed.split(",")}
+
+    # -- tree navigation ------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return anc
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for anc in self.ancestors(node):
+            if isinstance(anc, ast.ClassDef):
+                return anc
+        return None
+
+    def next_sibling(self, stmt: ast.stmt) -> ast.stmt | None:
+        """The statement following ``stmt`` in its enclosing body, if any."""
+        parent = self._parents.get(stmt)
+        if parent is None:
+            return None
+        for body_field in ("body", "orelse", "finalbody", "handlers"):
+            body = getattr(parent, body_field, None)
+            if isinstance(body, list) and stmt in body:
+                index = body.index(stmt)
+                if index + 1 < len(body):
+                    return body[index + 1]
+                return None
+        return None
+
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding ``(node, message)`` pairs (or fully-built :class:`Finding`
+    objects); the framework attaches location, severity, fix hint, line
+    text, and honours inline suppressions.
+    """
+
+    id: str = "XL000"
+    name: str = "unnamed"
+    severity: str = Severity.ERROR
+    fix_hint: str = ""
+    description: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Path scoping; default: every file under analysis."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: FileContext) -> list[Finding]:
+        if not self.applies_to(ctx):
+            return []
+        findings = []
+        for item in self.check(ctx):
+            if isinstance(item, Finding):
+                finding = item
+            else:
+                node, message = item
+                line = getattr(node, "lineno", 1)
+                finding = Finding(
+                    rule=self.id,
+                    severity=self.severity,
+                    path=ctx.rel_path,
+                    line=line,
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    fix_hint=self.fix_hint,
+                    line_text=ctx.line_text(line),
+                )
+            if ctx.suppressed(finding.line, finding.rule):
+                continue
+            findings.append(finding)
+        return findings
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    import repro.analysis.rules  # noqa: F401  (self-registration on import)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    import repro.analysis.rules  # noqa: F401
+
+    return _REGISTRY[rule_id]
+
+
+# ----------------------------------------------------------------------
+# drivers
+# ----------------------------------------------------------------------
+def analyze_source(
+    source: str, rel_path: str, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint one in-memory source blob (the unit-test entry point)."""
+    rules = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="XL000",
+                severity=Severity.ERROR,
+                path=PurePosixPath(rel_path).as_posix(),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+                line_text="",
+            )
+        ]
+    ctx = FileContext(rel_path, source, tree)
+    findings: list[Finding] = []
+    for rule in rules:
+        findings.extend(rule.run(ctx))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def iter_python_files(paths: Iterable[str | Path], root: Path) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file() and path.suffix == ".py":
+            out.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    out.add(sub)
+    return sorted(out)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    root: str | Path | None = None,
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; paths in findings are
+    reported relative to ``root`` (default: the current directory)."""
+    root = Path(root) if root is not None else Path.cwd()
+    rules = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, root):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        findings.extend(analyze_source(path.read_text(), rel, rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,640 @@
+"""The xatulint domain rules (XL001–XL010).
+
+Each rule encodes one invariant the train/serve stack's correctness
+rests on — invariants no generic linter knows about.  The catalogue,
+with rationale and worked examples, lives in docs/ANALYSIS.md; the
+positive/negative fixtures per rule live in tests/test_analysis.py.
+
+Rules are deliberately *syntactic and local*: they over-approximate
+(flagging, e.g., a leaf-parameter update as a tape mutation) and rely
+on the committed baseline file to record the intentional exceptions
+with a written reason — that keeps every rule simple enough to audit
+in one read, and every exception documented in one place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from .framework import FileContext, Rule, Severity, register
+
+__all__ = ["ALL_RULE_IDS"]
+
+
+# ----------------------------------------------------------------------
+# shared AST helpers
+# ----------------------------------------------------------------------
+def _mentions_attr(node: ast.AST, attr: str) -> bool:
+    """Whether any sub-expression accesses ``<something>.<attr>``."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == attr
+        for sub in ast.walk(node)
+    )
+
+
+def _call_name(call: ast.Call) -> str:
+    """The trailing name of a call target: ``a.b.c(...)`` -> ``c``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _dotted(node: ast.AST) -> str:
+    """Best-effort dotted name of an expression (``np.random.normal``)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _inside_try_finally(ctx: FileContext, node: ast.AST) -> bool:
+    return any(
+        isinstance(anc, ast.Try) and anc.finalbody for anc in ctx.ancestors(node)
+    )
+
+
+def _inside_with_lock(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether ``node`` sits under ``with <something lock-ish>:``."""
+    for anc in ctx.ancestors(node):
+        if isinstance(anc, ast.With):
+            for item in anc.items:
+                if "lock" in _dotted(item.context_expr).lower() or (
+                    isinstance(item.context_expr, ast.Call)
+                    and "lock" in _dotted(item.context_expr.func).lower()
+                ):
+                    return True
+    return False
+
+
+def _statement_of(ctx: FileContext, node: ast.AST) -> ast.stmt | None:
+    current: ast.AST | None = node
+    while current is not None and not isinstance(current, ast.stmt):
+        current = ctx.parent(current)
+    return current
+
+
+# ----------------------------------------------------------------------
+# XL001 — tape-node buffers must never be mutated in place
+# ----------------------------------------------------------------------
+@register
+class TapeMutationRule(Rule):
+    """In-place writes through a ``.data`` buffer invalidate the tape.
+
+    Autograd backward closures capture ``tensor.data`` *by reference*;
+    mutating it between forward and backward silently corrupts every
+    gradient that flows through the node.  The runtime sanitizer
+    (``REPRO_SANITIZE=1``) enforces this dynamically by freezing tape
+    buffers; this rule catches the pattern at review time.  Legitimate
+    exceptions (optimizer steps and checkpoint loads touch only *leaf*
+    parameters, which are never tape nodes) are baselined with reasons.
+    """
+
+    id = "XL001"
+    name = "tape-mutation"
+    severity = Severity.ERROR
+    fix_hint = (
+        "build a new array instead of writing through .data; if the "
+        "target is provably a leaf parameter, baseline with a reason"
+    )
+    description = "in-place mutation of a Tensor .data buffer"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for node in ctx.walk(ast.Assign, ast.AugAssign):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                # `x.data[...] = v` / `x.data += v` — but a plain rebind
+                # `x.data = v` (Attribute target itself) only counts for
+                # AugAssign; rebinding the attribute makes a new array.
+                if isinstance(target, ast.Subscript) and _mentions_attr(
+                    target, "data"
+                ):
+                    yield node, "in-place write through a Tensor .data buffer"
+                elif isinstance(node, ast.AugAssign) and isinstance(
+                    target, ast.Attribute
+                ) and target.attr == "data":
+                    yield node, "augmented assignment mutates .data in place"
+        for call in ctx.walk(ast.Call):
+            for kw in call.keywords:
+                if kw.arg == "out" and kw.value is not None and _mentions_attr(
+                    kw.value, "data"
+                ):
+                    yield call, (
+                        "ufunc out= targets a Tensor .data buffer "
+                        "(mutates the tape in place)"
+                    )
+
+
+# ----------------------------------------------------------------------
+# XL002 — inference entry points must run under no_grad
+# ----------------------------------------------------------------------
+_INFER_NAME_RE = re.compile(r"(^_?infer)|(_infer($|_))|(^predict)|(_np$)")
+
+
+@register
+class InferenceOutsideNoGradRule(Rule):
+    """Inference lanes that build Tensors outside ``no_grad()`` leak tape.
+
+    A function that *names itself* an inference path (``infer*``,
+    ``*_infer``, ``predict*``, ``*_np``) and constructs Tensors (or
+    calls the fused kernels / ``.forward``) without disabling gradients
+    allocates a closure per op — the exact regression the graph-free
+    lane exists to avoid — and silently grows the tape.
+    """
+
+    id = "XL002"
+    name = "inference-outside-no-grad"
+    severity = Severity.ERROR
+    fix_hint = (
+        "wrap the tensor-building body in `with no_grad():` or decorate "
+        "with @no_grad"
+    )
+    description = "inference-named function builds Tensors without no_grad"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for func in ctx.walk(ast.FunctionDef):
+            if not _INFER_NAME_RE.search(func.name):
+                continue
+            builds_tensors = False
+            has_guard = any(
+                "no_grad" in _dotted(dec) for dec in func.decorator_list
+            )
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Call):
+                    name = _call_name(sub)
+                    if name in ("Tensor", "lstm_sequence") or name == "forward":
+                        builds_tensors = True
+                if isinstance(sub, ast.With):
+                    for item in sub.items:
+                        if "no_grad" in _dotted(
+                            item.context_expr.func
+                            if isinstance(item.context_expr, ast.Call)
+                            else item.context_expr
+                        ):
+                            has_guard = True
+            if builds_tensors and not has_guard:
+                yield func, (
+                    f"inference path `{func.name}` builds Tensors outside "
+                    "no_grad() — every op allocates a tape closure"
+                )
+
+
+# ----------------------------------------------------------------------
+# XL003 — process-global switches must not leak
+# ----------------------------------------------------------------------
+_SWITCH_CALLS = {"set_enabled", "set_tape_hook"}
+
+
+@register
+class GlobalSwitchLeakRule(Rule):
+    """Toggling a process-global switch without a restore path leaks it.
+
+    ``repro.obs.set_enabled`` and ``repro.nn.set_tape_hook`` mutate
+    process-wide state: a raising body between toggle and restore leaves
+    telemetry (or the profiling hook) on for every later import in the
+    process — the grad-mode race PR 4 fixed by hand was exactly this
+    shape.  Allowed forms: toggle inside ``try``/``finally``, toggle
+    whose *next statement* opens the ``try``/``finally`` that restores
+    it, context-manager plumbing (``__enter__``/``__exit__``), and the
+    defining module itself.
+    """
+
+    id = "XL003"
+    name = "global-switch-leak"
+    severity = Severity.ERROR
+    fix_hint = (
+        "use the context-manager form (telemetry() / profile_tape()) or "
+        "restore the previous value in a finally: block"
+    )
+    description = "global switch toggled without try/finally or ctx manager"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The switches' own defining modules are the mechanism, not a use.
+        return not ctx.rel_path.endswith(
+            ("obs/registry.py", "nn/autograd.py")
+        )
+
+    def _restores_in_finally(self, stmt: ast.stmt) -> bool:
+        if not isinstance(stmt, ast.Try) or not stmt.finalbody:
+            return False
+        for node in stmt.finalbody:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and _call_name(sub) in _SWITCH_CALLS:
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for call in ctx.walk(ast.Call):
+            name = _call_name(call)
+            if name not in _SWITCH_CALLS:
+                continue
+            func = ctx.enclosing_function(call)
+            if func is not None and func.name in ("__enter__", "__exit__"):
+                continue
+            if _inside_try_finally(ctx, call):
+                continue
+            # Toggle immediately followed by the try/finally that restores
+            # it is fine — check siblings of the statement and of each
+            # enclosing statement (the toggle often sits in an `if`).
+            stmt = _statement_of(ctx, call)
+            restored = False
+            while stmt is not None and not restored:
+                sibling = ctx.next_sibling(stmt)
+                if sibling is not None:
+                    restored = self._restores_in_finally(sibling)
+                    break
+                parent = ctx.parent(stmt)
+                if isinstance(
+                    parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+                ):
+                    break  # never climb across a function boundary
+                stmt = _statement_of(ctx, parent)
+            if restored:
+                continue
+            yield call, (
+                f"`{name}(...)` toggles process-global state with no "
+                "try/finally restore on this path"
+            )
+        # Direct pokes at the autograd mode object are never OK outside
+        # the context managers in nn/autograd.py itself.
+        for node in ctx.walk(ast.Assign, ast.AugAssign):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr == "grad_enabled"
+                ):
+                    func = ctx.enclosing_function(node)
+                    if func is not None and func.name in ("__enter__", "__exit__"):
+                        continue
+                    yield node, (
+                        "direct assignment to the grad-mode flag; use "
+                        "no_grad() so the previous mode is restored"
+                    )
+
+
+# ----------------------------------------------------------------------
+# XL004 — unseeded randomness breaks crash-equivalence
+# ----------------------------------------------------------------------
+_RNG_FACTORIES = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox",
+                  "RandomState", "get_state", "set_state"}
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    """Module-level RNG calls make replays and restores non-reproducible.
+
+    The serving stack's crash-equivalence guarantee (a restored run is
+    byte-identical to an uninterrupted one) holds only when every random
+    draw flows from an explicitly seeded ``np.random.Generator`` that is
+    part of checkpointed state.  ``np.random.normal(...)`` and friends
+    draw from hidden process-global state that no checkpoint captures.
+    """
+
+    id = "XL004"
+    name = "unseeded-randomness"
+    severity = Severity.ERROR
+    fix_hint = (
+        "thread an np.random.Generator through (rng parameter, "
+        "np.random.default_rng(seed) at the boundary)"
+    )
+    description = "np.random.* / random.* module-level draw"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for call in ctx.walk(ast.Call):
+            dotted = _dotted(call.func)
+            parts = dotted.split(".")
+            if len(parts) == 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                if parts[2] not in _RNG_FACTORIES:
+                    yield call, (
+                        f"`{dotted}(...)` draws from the hidden global RNG; "
+                        "crash-equivalence requires an explicit Generator"
+                    )
+            elif len(parts) == 2 and parts[0] == "random" and parts[1] not in (
+                "Random", "SystemRandom"
+            ):
+                yield call, (
+                    f"`{dotted}(...)` draws from the stdlib global RNG; "
+                    "use a seeded random.Random (or numpy Generator)"
+                )
+
+
+# ----------------------------------------------------------------------
+# XL005 — wall-clock reads in deterministic paths
+# ----------------------------------------------------------------------
+_WALL_CLOCK = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "datetime.now": "datetime.now()",
+    "datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.now": "datetime.datetime.now()",
+    "datetime.datetime.utcnow": "datetime.datetime.utcnow()",
+    "date.today": "date.today()",
+    "datetime.date.today": "datetime.date.today()",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads in core/serve/nn paths break replay determinism.
+
+    Logical time in this stack is the *minute index* threaded through
+    every API; real timestamps differ between the original and the
+    restored run, so any wall-clock read that influences state breaks
+    the byte-identical-alerts guarantee.  ``time.perf_counter`` is fine
+    — durations feed telemetry, never state.  Host metadata stamping in
+    ``obs``/``bench`` is out of scope by path.
+    """
+
+    id = "XL005"
+    name = "wall-clock"
+    severity = Severity.ERROR
+    fix_hint = (
+        "thread the minute index (or an injected clock) through instead; "
+        "time.perf_counter() is fine for durations"
+    )
+    description = "wall-clock read in a determinism-critical path"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpath(
+            "core", "serve", "nn", "netflow", "signals", "detect", "scrub",
+            "survival",
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for call in ctx.walk(ast.Call):
+            dotted = _dotted(call.func)
+            if dotted in _WALL_CLOCK:
+                yield call, (
+                    f"`{_WALL_CLOCK[dotted]}` reads the wall clock in a "
+                    "determinism-critical path"
+                )
+
+
+# ----------------------------------------------------------------------
+# XL006 — thread-shared mutable state needs a lock or an owner
+# ----------------------------------------------------------------------
+@register
+class UnlockedSharedStateRule(Rule):
+    """In ``serve/``, attribute writes in thread-spawning classes need
+    a lock or a documented single owner.
+
+    A class that starts a ``threading.Thread`` has (at least) two
+    execution contexts touching ``self``.  Every post-``__init__``
+    attribute write must either hold a lock (``with self._lock:``) or
+    target an attribute with *documented ownership* — an ``# owner: ...``
+    comment naming the one thread allowed to write it, placed either on
+    the write itself or on the attribute's introduction in ``__init__``
+    (ownership is a property of the attribute, declared once).
+    """
+
+    id = "XL006"
+    name = "unlocked-shared-state"
+    severity = Severity.WARNING
+    fix_hint = (
+        "guard with `with self._lock:` or document single-thread "
+        "ownership with an `# owner: <thread>` comment on the line"
+    )
+    description = "unsynchronized attribute write in a threaded serve class"
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_subpath("serve")
+
+    def _spawns_threads(self, cls: ast.ClassDef) -> bool:
+        for sub in ast.walk(cls):
+            if isinstance(sub, ast.Call) and _dotted(sub.func) in (
+                "threading.Thread", "Thread"
+            ):
+                return True
+        return False
+
+    def _owned_attrs(self, ctx: FileContext, cls: ast.ClassDef) -> set[str]:
+        """Attributes whose introduction carries an `# owner:` note."""
+        owned: set[str] = set()
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            if "owner:" not in ctx.line_text(node.lineno):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    owned.add(target.attr)
+        return owned
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for cls in ctx.walk(ast.ClassDef):
+            if not self._spawns_threads(cls):
+                continue
+            owned = self._owned_attrs(ctx, cls)
+            for func in cls.body:
+                if not isinstance(func, ast.FunctionDef) or func.name == "__init__":
+                    continue
+                for node in ast.walk(func):
+                    if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                        continue
+                    targets = (
+                        node.targets if isinstance(node, ast.Assign) else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            if _inside_with_lock(ctx, node):
+                                continue
+                            if target.attr in owned:
+                                continue
+                            if "owner:" in ctx.line_text(node.lineno):
+                                continue
+                            yield node, (
+                                f"`self.{target.attr}` written in "
+                                f"`{cls.name}.{func.name}` (a thread-spawning "
+                                "class) without a lock or ownership note"
+                            )
+
+
+# ----------------------------------------------------------------------
+# XL007 — deprecated pre-PR-4 detector signatures
+# ----------------------------------------------------------------------
+_DEPRECATED_RUN_CLASSES = {
+    "NetScoutDetector",
+    "FastNetMonDetector",
+    "EntropyDetector",
+}
+
+
+@register
+class DeprecatedDetectorApiRule(Rule):
+    """The unified Detector protocol replaced the pre-PR-4 signatures.
+
+    ``SomeDetector().run(trace)`` became ``detect(trace)``; the two-arg
+    ``observe_minute(minute, flows)`` became ``step(minute, flows)`` (or
+    the protocol form ``observe_minute(flows)``).  Both shims emit
+    ``DeprecationWarning`` at runtime; this rule catches them at lint
+    time before they reach a warnings-as-errors CI lane.
+    """
+
+    id = "XL007"
+    name = "deprecated-detector-api"
+    severity = Severity.WARNING
+    fix_hint = (
+        "use detect(trace) instead of run(trace); step(minute, flows) "
+        "or observe_minute(flows) instead of observe_minute(minute, flows)"
+    )
+    description = "call to a deprecated pre-protocol detector signature"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for call in ctx.walk(ast.Call):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "observe_minute" and len(call.args) >= 2:
+                yield call, (
+                    "two-arg observe_minute(minute, flows) is the deprecated "
+                    "pre-protocol form"
+                )
+            if func.attr == "run" and isinstance(func.value, ast.Call):
+                ctor = _call_name(func.value)
+                if ctor in _DEPRECATED_RUN_CLASSES:
+                    yield call, (
+                        f"`{ctor}().run(...)` is the deprecated pre-protocol "
+                        "entry point"
+                    )
+
+
+# ----------------------------------------------------------------------
+# XL008 — mutable default arguments
+# ----------------------------------------------------------------------
+@register
+class MutableDefaultRule(Rule):
+    """A mutable default is shared across *every* call of the function.
+
+    In a long-lived serving process that is cross-request state leakage:
+    one tick's alerts bleed into the next.  Default to ``None`` and
+    materialize inside the body.
+    """
+
+    id = "XL008"
+    name = "mutable-default"
+    severity = Severity.ERROR
+    fix_hint = "default to None and create the list/dict/set in the body"
+    description = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for func in ctx.walk(ast.FunctionDef, ast.AsyncFunctionDef):
+            for default in list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None
+            ]:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and _call_name(default) in ("list", "dict", "set", "defaultdict")
+                )
+                if mutable:
+                    yield default, (
+                        f"mutable default argument in `{func.name}` is shared "
+                        "across calls"
+                    )
+
+
+# ----------------------------------------------------------------------
+# XL009 — bare except
+# ----------------------------------------------------------------------
+@register
+class BareExceptRule(Rule):
+    """``except:`` catches SystemExit/KeyboardInterrupt too.
+
+    A shard worker swallowing KeyboardInterrupt turns a clean shutdown
+    into a hang; catch the narrowest exception that the recovery path
+    actually handles (``Exception`` at the very widest).
+    """
+
+    id = "XL009"
+    name = "bare-except"
+    severity = Severity.WARNING
+    fix_hint = "catch a specific exception type (Exception at the widest)"
+    description = "bare except: clause"
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for handler in ctx.walk(ast.ExceptHandler):
+            if handler.type is None:
+                yield handler, "bare `except:` also catches KeyboardInterrupt"
+
+
+# ----------------------------------------------------------------------
+# XL010 — unordered iteration in alert-merge paths
+# ----------------------------------------------------------------------
+_ALERT_FUNC_RE = re.compile(r"alert|merge|poll|tick")
+
+
+@register
+class AlertOrderHazardRule(Rule):
+    """Alert streams must be deterministic and shard-count-invariant.
+
+    Functions on the alert path (``*alert*``, ``*merge*``, ``*poll*``,
+    ``*tick*``) must not iterate raw ``dict.values()`` / ``.items()`` /
+    ``.keys()`` or sets when producing output: insertion order varies
+    with ingest interleaving (and set order with hash seeds), so the
+    merged stream stops being byte-identical across shard counts.  Wrap
+    the iterable in ``sorted(...)``.
+    """
+
+    id = "XL010"
+    name = "alert-order-hazard"
+    severity = Severity.WARNING
+    fix_hint = "iterate sorted(d.items()) so the emitted order is canonical"
+    description = "unordered dict/set iteration in an alert-merge path"
+
+    def _is_sorted_wrapped(self, ctx: FileContext, call: ast.Call) -> bool:
+        parent = ctx.parent(call)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in ("sorted", "min", "max", "len", "sum")
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
+        for func in ctx.walk(ast.FunctionDef):
+            if not _ALERT_FUNC_RE.search(func.name):
+                continue
+            iters: list[ast.AST] = []
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.For):
+                    iters.append(sub.iter)
+                elif isinstance(sub, ast.comprehension):
+                    iters.append(sub.iter)
+            for it in iters:
+                if (
+                    isinstance(it, ast.Call)
+                    and isinstance(it.func, ast.Attribute)
+                    and it.func.attr in ("values", "items", "keys")
+                    and not it.args
+                    and not self._is_sorted_wrapped(ctx, it)
+                ):
+                    yield it, (
+                        f"`{func.name}` iterates dict.{it.func.attr}() on an "
+                        "alert path; emission order must be canonical"
+                    )
+
+
+ALL_RULE_IDS = (
+    "XL001", "XL002", "XL003", "XL004", "XL005",
+    "XL006", "XL007", "XL008", "XL009", "XL010",
+)

@@ -159,7 +159,7 @@ def _replay_online_minutes(pipeline, minutes: int = 10) -> None:
             if datagram_index % 17 == 0:
                 continue  # simulated export loss
             arrived.extend(collector.ingest_datagram(blob))
-        alerts += len(online.observe_minute(minute, arrived))
+        alerts += len(online.step(minute, arrived))
     health = collector.feed_health()
     print(f"online replay    {trace.horizon - start} minutes, "
           f"{health.records_received} records "
@@ -167,17 +167,24 @@ def _replay_online_minutes(pipeline, minutes: int = 10) -> None:
           f"{alerts} alerts")
 
 
+def _telemetry_context(telemetry_path):
+    """The obs switch for a CLI run: ``telemetry()`` when a snapshot was
+    requested (restores the previous switch state even on a raising run,
+    so the process-global flag never leaks), else a no-op."""
+    from contextlib import nullcontext
+
+    if not telemetry_path:
+        return nullcontext()
+    from .obs import telemetry
+
+    return telemetry()
+
+
 def cmd_pipeline(args) -> int:
     from .core import XatuPipeline
 
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path:
-        from .obs import set_enabled
-
-        set_enabled(True)
-    # try/finally: a raising run must not leave the process-global
-    # telemetry switch enabled for whoever imports repro next.
-    try:
+    with _telemetry_context(telemetry_path):
         pipeline = XatuPipeline(_build_pipeline_config(args))
         result = pipeline.run()
         print(f"threshold        {result.calibration.threshold:.3g}")
@@ -191,9 +198,6 @@ def cmd_pipeline(args) -> int:
         if telemetry_path:
             _replay_online_minutes(pipeline)
             _write_cli_telemetry(telemetry_path)
-    finally:
-        if telemetry_path:
-            set_enabled(False)
     return 0
 
 
@@ -218,11 +222,7 @@ def cmd_train(args) -> int:
     from .synth import TraceGenerator
 
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path:
-        from .obs import set_enabled
-
-        set_enabled(True)
-    try:
+    with _telemetry_context(telemetry_path):
         trace = TraceGenerator(_build_scenario(args)).generate()
         alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
@@ -240,9 +240,6 @@ def cmd_train(args) -> int:
             print(f"  {key:<18} events={entry.n_train_events:<4} loss {trend}")
         if telemetry_path:
             _write_cli_telemetry(telemetry_path)
-    finally:
-        if telemetry_path:
-            set_enabled(False)
     return 0
 
 
@@ -310,19 +307,12 @@ def cmd_bench(args) -> int:
             return 2
         cases = tuple(args.only)
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path:
-        from .obs import set_enabled
-
-        set_enabled(True)
-    try:
+    with _telemetry_context(telemetry_path):
         report = run_all(
             tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
         )
         if telemetry_path:
             _write_cli_telemetry(telemetry_path)
-    finally:
-        if telemetry_path:
-            set_enabled(False)
     print(report.render())
     status = 0
     if args.check:
@@ -386,11 +376,7 @@ def cmd_serve(args) -> int:
     from .synth import TraceGenerator, TraceReplayer
 
     telemetry_path = getattr(args, "telemetry", None)
-    if telemetry_path:
-        from .obs import set_enabled
-
-        set_enabled(True)
-    try:
+    with _telemetry_context(telemetry_path):
         trace = TraceGenerator(_build_scenario(args)).generate()
         cdet_alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         if args.models:
@@ -515,11 +501,6 @@ def cmd_serve(args) -> int:
               f"{stats['checkpoints_written']} checkpoint(s)")
         if telemetry_path:
             _write_cli_telemetry(telemetry_path)
-    finally:
-        if telemetry_path:
-            from .obs import set_enabled
-
-            set_enabled(False)
     return 0
 
 
@@ -568,6 +549,95 @@ def cmd_report(args) -> int:
     else:
         print(report)
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run xatulint (repro.analysis) over the tree and gate on findings.
+
+    Exit codes: 0 clean (baselined findings don't count), 1 when the gate
+    fails — any new finding or stale baseline entry under ``--strict``,
+    new *error*-severity findings otherwise — and 2 on usage errors.
+    """
+    import json
+    from pathlib import Path
+
+    from .analysis import (
+        Baseline,
+        Severity,
+        all_rules,
+        analyze_paths,
+        iter_python_files,
+    )
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.severity:<7}  {rule.name}")
+            if rule.description:
+                print(f"       {rule.description}")
+        return 0
+
+    root = Path.cwd()
+    findings = analyze_paths(args.paths, root=root)
+
+    baseline_path = root / args.baseline
+    if args.write_baseline:
+        previous = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+        written = Baseline.from_findings(findings, previous=previous)
+        written.save(baseline_path)
+        print(f"wrote {len(written)} entr{'y' if len(written) == 1 else 'ies'} "
+              f"to {baseline_path}")
+        print("edit the file and replace every placeholder reason before "
+              "committing")
+        return 0
+
+    baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    new, suppressed = baseline.partition(findings)
+    # An entry is stale only if its *file* was in this run's scope —
+    # linting a subtree must not flag entries for files it never read.
+    analyzed = set()
+    for path in iter_python_files(args.paths, root):
+        try:
+            analyzed.add(path.relative_to(root).as_posix())
+        except ValueError:
+            analyzed.add(path.as_posix())
+    stale = [
+        e for e in baseline.unused_entries(findings) if e.path in analyzed
+    ]
+
+    if args.format == "json":
+        payload = {
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "fix_hint": f.fix_hint,
+                }
+                for f in new
+            ],
+            "baselined": len(suppressed),
+            "stale_baseline_entries": [e.to_json() for e in stale],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        for entry in stale:
+            print(f"{entry.path}: stale baseline entry {entry.rule} "
+                  f"({entry.line_text!r}) — the finding is gone; delete it")
+        counts = f"{len(new)} new finding(s), {len(suppressed)} baselined"
+        if stale:
+            counts += f", {len(stale)} stale baseline entr" + (
+                "y" if len(stale) == 1 else "ies")
+        print(f"lint: {counts}")
+
+    if args.strict:
+        return 1 if (new or stale) else 0
+    errors = [f for f in new if f.severity == Severity.ERROR]
+    return 1 if errors else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -705,6 +775,33 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--selftest", action="store_true",
                          help="check the exporters and exit")
     metrics.set_defaults(func=cmd_metrics)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run xatulint (domain-aware static analysis) over the tree",
+        description="AST rules for the autograd/serving stack: tape "
+        "mutation, grad-mode hygiene, global-switch leaks, determinism "
+        "hazards, thread-safety, deprecated APIs (see docs/ANALYSIS.md).  "
+        "Known-intentional findings live in lint-baseline.json with "
+        "written reasons; the gate fails only on new ones.",
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--strict", action="store_true",
+                      help="fail on any new finding or stale baseline "
+                      "entry, regardless of severity (the CI gate)")
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="baseline suppression file (repo-relative)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="rewrite the baseline to cover current findings "
+                      "(keeps existing reasons; new entries get a TODO)")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="report rendering")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

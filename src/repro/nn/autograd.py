@@ -20,6 +20,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from ..analysis import sanitizer as _sanitizer
+
 __all__ = [
     "Tensor",
     "no_grad",
@@ -205,6 +207,11 @@ class Tensor:
         self._parents = _parents if _MODE.grad_enabled else ()
         self._backward = _backward if _MODE.grad_enabled else None
         self.name = name
+        # Sanitizer (REPRO_SANITIZE=1): recorded-op outputs are frozen so
+        # any in-place write between forward and backward raises at the
+        # mutation site.  Leaves stay writable (optimizers, gradcheck).
+        if self._parents and _sanitizer.sanitize_enabled():
+            _sanitizer.freeze_tape_buffer(self.data)
 
     # ------------------------------------------------------------------
     # construction helpers

@@ -29,6 +29,7 @@ import time
 
 import numpy as np
 
+from ..analysis.sanitizer import check_finite, sanitize_enabled
 from ..obs.registry import get_registry, obs_enabled
 from .autograd import Tensor, get_tape_hook, is_grad_enabled, resolve_inference_dtype
 
@@ -127,6 +128,8 @@ def lstm_sequence(
     activations so gradients may flow through a threaded state.
     """
     X, Wx, Wh, b = _maybe_cast(x.data, w_x.data, w_h.data, bias.data)
+    if sanitize_enabled():
+        check_finite("lstm_sequence.inputs", x=X, w_x=Wx, w_h=Wh, bias=b)
     batch, steps, _features = X.shape
     hidden = Wh.shape[0]
     if state is None:
@@ -153,6 +156,8 @@ def lstm_sequence(
         result = _lstm_infer(X, Wx, Wh, x_proj, h0, c0, hidden)
         if hook is not None:
             hook.record_forward("lstm_infer", time.perf_counter() - start)
+        if sanitize_enabled():
+            check_finite("lstm_sequence.infer_outputs", outputs=result[0].data)
         return result
 
     outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
@@ -189,6 +194,8 @@ def lstm_sequence(
 
     if hook is not None:
         hook.record_forward("lstm_sequence", time.perf_counter() - start)
+    if sanitize_enabled():
+        check_finite("lstm_sequence.outputs", outputs=outputs, cell=c)
 
     def bptt(
         d_out: np.ndarray | None,
@@ -288,6 +295,8 @@ def avg_pool_1d(x: Tensor, window: int) -> Tensor:
     out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
     if hook is not None:
         hook.record_forward("avg_pool_1d", time.perf_counter() - start)
+    if sanitize_enabled():
+        check_finite("avg_pool_1d", x=X, out=out)
 
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor(out)
@@ -325,6 +334,8 @@ def max_pool_1d(x: Tensor, window: int) -> Tensor:
     out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
     if hook is not None:
         hook.record_forward("max_pool_1d", time.perf_counter() - start)
+    if sanitize_enabled():
+        check_finite("max_pool_1d", x=X, out=out)
 
     if not (is_grad_enabled() and (x.requires_grad or x._parents)):
         return Tensor(out)

@@ -95,11 +95,14 @@ class ShardWorker:
     ) -> None:
         self.index = index
         self.backend = backend
-        self.healthy = True
-        self._pending = 0
+        # The worker loop never touches `self` — it owns only the detector
+        # and its connection end.  Liveness/dispatch bookkeeping is written
+        # exclusively by the engine thread driving submit()/collect().
+        self.healthy = True  # owner: engine thread
+        self._pending = 0  # owner: engine thread
         if backend == "inline":
             self._detector = detector_factory()
-            self._inline_result = None
+            self._inline_result = None  # owner: engine thread
         elif backend == "thread":
             to_worker: queue.Queue = queue.Queue()
             to_engine: queue.Queue = queue.Queue()

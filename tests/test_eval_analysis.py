@@ -1,0 +1,84 @@
+"""Tests for the FP-inspection and generality analyses."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import XatuAlert
+from repro.eval import classify_false_positives, generality_split
+from repro.scrub import DiversionWindow, ScrubbingCenter
+
+
+class TestFalsePositiveClassification:
+    def test_matched_alerts_skipped(self, trace):
+        alerts = [XatuAlert(0, 100, 0.1, event_id=5)]
+        assert classify_false_positives(trace, alerts) == []
+
+    def test_quiet_alert_not_suspicious(self, trace):
+        event = trace.events[0]
+        quiet_minute = max(60, event.onset - 120)
+        alerts = [XatuAlert(event.customer_id, quiet_minute, 0.1, event_id=-1)]
+        verdicts = classify_false_positives(trace, alerts)
+        assert len(verdicts) == 1
+        assert not verdicts[0].likely_missed_attack
+
+    def test_alert_at_attack_onset_is_suspicious(self, trace):
+        """An 'FP' that actually lands on a flood classifies as missed attack."""
+        event = max(trace.events, key=lambda e: e.anomalous_bytes.max())
+        peak_minute = event.onset + int(np.argmax(event.anomalous_bytes))
+        alerts = [XatuAlert(event.customer_id, peak_minute, 0.1, event_id=-1)]
+        verdicts = classify_false_positives(trace, alerts, window=2)
+        assert verdicts[0].likely_missed_attack
+        assert verdicts[0].volume_ratio > 3.0
+
+    def test_alert_at_horizon_edge(self, trace):
+        alerts = [XatuAlert(0, trace.horizon - 1, 0.1, event_id=-1)]
+        verdicts = classify_false_positives(trace, alerts)
+        assert len(verdicts) == 1
+        assert np.isfinite(verdicts[0].volume_ratio) or verdicts[0].volume_ratio == np.inf
+
+
+class TestGeneralitySplit:
+    @pytest.fixture(scope="class")
+    def split(self, trace):
+        # Divert everything: every event gets delay <= 0 and eff 1.
+        windows = [
+            DiversionWindow(c.customer_id, 0, trace.horizon)
+            for c in trace.world.customers
+        ]
+        report = ScrubbingCenter(trace).account(windows)
+        half = trace.horizon // 2
+        return trace, generality_split(
+            trace, report, (0, half), (half, trace.horizon)
+        )
+
+    def test_customer_partition_complete(self, split):
+        trace, result = split
+        assert (
+            result.n_seen_customers + result.n_unseen_customers
+            == len(trace.world.customers)
+        )
+
+    def test_event_partition_complete(self, split):
+        trace, result = split
+        half = trace.horizon // 2
+        n_eval = sum(1 for e in trace.events if e.onset >= half)
+        assert len(result.seen_delays) + len(result.unseen_delays) == n_eval
+
+    def test_full_diversion_yields_full_effectiveness(self, split):
+        _trace, result = split
+        for values in (result.seen_effectiveness, result.unseen_effectiveness):
+            if len(values):
+                assert values == pytest.approx(np.ones(len(values)))
+
+    def test_unseen_fraction_in_unit_interval(self, split):
+        _trace, result = split
+        assert 0.0 <= result.unseen_fraction <= 1.0
+
+    def test_missed_delay_fills_undetected(self, trace):
+        report = ScrubbingCenter(trace).account([])
+        half = trace.horizon // 2
+        result = generality_split(
+            trace, report, (0, half), (half, trace.horizon), missed_delay=42
+        )
+        combined = np.concatenate([result.seen_delays, result.unseen_delays])
+        assert (combined == 42).all()
