@@ -82,7 +82,7 @@ def main() -> None:
                 sources, total_bytes=victim.base_rate_bytes * 20.0,
                 rng=rng, country_of=botnet.country_of,
             ))
-        alerts = online.observe_minute(minute, flows)
+        alerts = online.step(minute, flows)
         for alert in alerts:
             n_alerts += 1
             marker = "<< ATTACK WINDOW" if attack_start <= minute else ""

@@ -47,8 +47,8 @@ def main() -> None:
     t0 = time.time()
     restored = load_trace(workdir / "trace")
     print(f"reloaded in {time.time() - t0:.1f}s")
-    a = NetScoutDetector().run(trace)
-    b = NetScoutDetector().run(restored)
+    a = NetScoutDetector().detect(trace)
+    b = NetScoutDetector().detect(restored)
     assert [(x.customer_id, x.detect_minute) for x in a] == [
         (x.customer_id, x.detect_minute) for x in b
     ]

@@ -210,8 +210,9 @@ def compare_to_baseline(
     exceeds the baseline's by more than ``tolerance`` (0.5 = 50% slower).
     Host mismatches (different interpreter/numpy/machine than the machine
     that wrote the baseline) demote every regression to a warning — timing
-    baselines are only comparable on like hardware.  Cases whose workload
-    sizes differ from the baseline's are skipped with a warning.
+    baselines are only comparable on like hardware — and so do smoke-mode
+    runs, whose single-rep timings are documented noise.  Cases whose
+    workload sizes differ from the baseline's are skipped with a warning.
     """
     from ..obs.export import host_metadata
 
@@ -238,6 +239,14 @@ def compare_to_baseline(
     if bool(baseline.get("smoke")) != report.smoke:
         warnings.append(
             "smoke flag differs from baseline; timings are not comparable"
+        )
+        host_matches = False
+    elif report.smoke:
+        # Smoke timings are single-rep, no-warmup, and documented as
+        # meaningless (docs/PERFORMANCE.md) — a 50% swing on a sub-ms
+        # measurement is noise, not a regression.
+        warnings.append(
+            "both runs are smoke mode; regressions reported as warnings only"
         )
         host_matches = False
 

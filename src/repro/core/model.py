@@ -200,3 +200,142 @@ class XatuModel(Module):
     def survival_np(self, x: np.ndarray, dtype=None) -> np.ndarray:
         """Inference: the survival curve ``S_t`` over the detection window."""
         return hazards_to_survival_np(self.hazards_np(x, dtype=dtype))
+
+    # ------------------------------------------------------------------
+    # batched cross-customer inference lane
+    # ------------------------------------------------------------------
+    def hazards_np_batched(self, x: np.ndarray, dtype=None) -> np.ndarray:
+        """Inference over a stack of independent windows, per-item bitwise
+        identical to :meth:`hazards_np` on each window alone.
+
+        ``hazards_np(x)`` with ``batch > 1`` is *not* row-stable: the LSTM
+        kernels flatten ``(batch, time, features)`` into one 2-D GEMM whose
+        BLAS blocking (and therefore low-order bits) changes with the row
+        count.  This entry point instead mirrors ``forward`` op for op with
+        stacked 3-D matmuls whose per-item 2-D shapes match the
+        ``batch == 1`` call exactly, so
+
+            ``hazards_np_batched(x)[i] == hazards_np(x[i:i+1])[0]``
+
+        holds bit for bit, in float64 and under the float32 ``dtype``
+        policy alike.  This is what lets the serving layer score every
+        customer on a shard in one pass while keeping alert streams and
+        checkpoints byte-identical to the per-customer reference lane.
+        """
+        from ..nn import inference_dtype, no_grad
+
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                if dtype is not None:
+                    with inference_dtype(dtype):
+                        return self._hazards_batched(x)
+                return self._hazards_batched(x)
+        finally:
+            if was_training:
+                self.train(True)
+
+    def _hazards_batched(self, x: np.ndarray) -> np.ndarray:
+        return self._hazards_staged(self._stage_pooled(x))
+
+    def stage_pooled(self, x: np.ndarray, dtype=None) -> list[np.ndarray]:
+        """Feature-staging half of the batched lane: validate, cast to the
+        inference dtype, and pool a stack of windows into the per-timescale
+        sequences :meth:`hazards_np_staged` consumes.
+
+        Splitting staging from the decision pass mirrors the serving
+        pipeline's feature-extractor → batch-inferencer structure: staging
+        is per-minute data movement; the staged pass is the per-customer
+        alert-decision cost that batching amortizes.  Composition is exact:
+        ``hazards_np_staged(stage_pooled(x, d), d)`` equals
+        ``hazards_np_batched(x, d)`` bit for bit.
+        """
+        from ..nn import inference_dtype, no_grad
+
+        with no_grad():
+            if dtype is not None:
+                with inference_dtype(dtype):
+                    return self._stage_pooled(x)
+            return self._stage_pooled(x)
+
+    def hazards_np_staged(self, staged: list[np.ndarray], dtype=None) -> np.ndarray:
+        """Decision half of the batched lane: one fused LSTM + survival-head
+        pass over pre-staged pooled sequences (see :meth:`stage_pooled`).
+        """
+        from ..nn import inference_dtype, no_grad
+
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                if dtype is not None:
+                    with inference_dtype(dtype):
+                        return self._hazards_staged(staged)
+                return self._hazards_staged(staged)
+        finally:
+            if was_training:
+                self.train(True)
+
+    def _stage_pooled(self, x: np.ndarray) -> list[np.ndarray]:
+        from ..nn.autograd import resolve_inference_dtype
+        from ..nn.fused import pool_infer
+
+        cfg = self.config
+        dtype = resolve_inference_dtype()
+        X = np.asarray(x, dtype=np.float64 if dtype is None else dtype)
+        if X.ndim != 3:
+            raise ValueError(
+                f"expected (batch, minutes, features) input, got shape {X.shape}"
+            )
+        _batch, total_minutes, n_features = X.shape
+        if n_features != cfg.n_features:
+            raise ValueError(
+                f"expected {cfg.n_features} features, got {n_features}"
+            )
+        if total_minutes < cfg.lookback_minutes:
+            raise ValueError(
+                f"input window of {total_minutes} min is shorter than the "
+                f"required lookback of {cfg.lookback_minutes} min"
+            )
+        return [
+            pool_infer(X[:, total_minutes - ts.minutes :, :], ts.window, cfg.pooling)
+            for ts in cfg.timescales
+        ]
+
+    def _hazards_staged(self, staged: list[np.ndarray]) -> np.ndarray:
+        from ..nn.fused import dense_infer, lstm_infer_batched
+
+        cfg = self.config
+        if len(staged) != len(cfg.timescales):
+            raise ValueError(
+                f"expected {len(cfg.timescales)} staged sequences, got {len(staged)}"
+            )
+        # Index selection matches forward(): positions are computed from the
+        # original (unpooled) window length, which staging preserves.
+        total_minutes = cfg.lookback_minutes
+        batch = staged[0].shape[0]
+        indices = self._scale_indices(total_minutes)
+        projections: list[np.ndarray] = []
+        for pooled, lstm, dense, idx in zip(
+            staged, self.lstms, self.scale_dense, indices
+        ):
+            hidden = lstm_infer_batched(
+                pooled, lstm.w_x.data, lstm.w_h.data, lstm.bias.data
+            )
+            selected = hidden[:, idx, :]
+            projections.append(
+                dense_infer(
+                    selected, dense.weight.data, dense.bias.data, dense.activation
+                )
+            )
+        combined = np.concatenate(projections, axis=-1)
+        hazards = dense_infer(
+            combined,
+            self.combine.weight.data,
+            self.combine.bias.data,
+            self.combine.activation,
+        )
+        return hazards.reshape(batch, cfg.detect_window)

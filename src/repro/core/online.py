@@ -131,9 +131,30 @@ class OnlineXatu:
         Spoof classification source (A3).
     base_rate_of:
         Customer id → baseline bytes/minute, for A4 severity bucketing.
+
+    Serving-lane knobs
+    ------------------
+    ``batched``, ``inference_dtype`` and ``batch_block`` are plain
+    (class-level default) attributes, set per instance by the serving
+    layer from :class:`~repro.serve.ServeConfig`.  They select *how* the
+    per-minute hazards are computed — one fused pass over every watched
+    customer versus one model call per customer — and are proven
+    byte-identical in outcome by ``tests/test_batched_equivalence.py``.
+    Deliberately **not** part of :class:`OnlineConfig` or
+    :meth:`state_dict`: the lane must never change what a checkpoint
+    looks like, so a restore may flip lanes freely.
     """
 
     name = "xatu"
+
+    # Scoring-lane policy (see class docstring).  ``batched`` stacks every
+    # watched customer's feature window into one fused inference call;
+    # ``inference_dtype`` (None | np.float32 | np.float64) activates the
+    # reduced-precision lane; ``batch_block`` caps customers per stacked
+    # call to bound the (customers, lookback, 273) staging buffer.
+    batched: bool = False
+    inference_dtype = None
+    batch_block: int = 256
 
     def __init__(
         self,
@@ -285,10 +306,82 @@ class OnlineXatu:
         )[:span]
         return block
 
+    def feature_windows(
+        self, customer_ids: Sequence[int], end_minute: int
+    ) -> np.ndarray:
+        """Stack the per-minute feature windows of several customers.
+
+        Returns ``(len(customer_ids), lookback_minutes, N_FEATURES)`` —
+        row ``i`` is exactly ``_feature_window(customer_ids[i], end_minute)``.
+        This is the staging step of the batched lane, but is public API:
+        any batch scorer (offline eval, what-if replay) can use it.
+        """
+        lookback = self.model.config.lookback_minutes
+        stack = np.empty((len(customer_ids), lookback, N_FEATURES))
+        for row, customer_id in enumerate(customer_ids):
+            stack[row] = self._feature_window(customer_id, end_minute)
+        return stack
+
     def _survival(self, customer_id: int) -> float:
         window = self.model.config.detect_window
         recent = self._hazards[customer_id][-window:]
         return float(np.exp(-np.sum(recent))) if recent else 1.0
+
+    # ------------------------------------------------------------------
+    # per-minute scoring (two lanes, one decision step)
+    # ------------------------------------------------------------------
+    def _score_one(self, customer_id: int, minute: int) -> float:
+        """Per-customer reference lane: one model call for one customer."""
+        window = self._feature_window(customer_id, minute)
+        x = self.scaler.transform(window)[None, :, :]
+        hazards = self.model.hazards_np(x, dtype=self.inference_dtype)[0]
+        return float(hazards[-1])
+
+    def _score_batched(self, customers: Sequence[int], minute: int) -> list[float]:
+        """Batched lane: fused inference over every watched customer.
+
+        Chunked into ``batch_block``-customer stacks so the float64
+        staging buffer stays bounded (1000 customers × 240 minutes × 273
+        features would be ~0.5 GB in one piece).  Chunking cannot change
+        results: every op in :meth:`XatuModel.hazards_np_batched` is
+        per-item bitwise stable, so the block size is a pure memory knob.
+        """
+        out: list[float] = []
+        block = max(1, int(self.batch_block))
+        for lo in range(0, len(customers), block):
+            chunk = customers[lo : lo + block]
+            x = self.feature_windows(chunk, minute)
+            self.scaler.transform(x, out=x)
+            staged = self.model.stage_pooled(x, dtype=self.inference_dtype)
+            hazards = self.model.hazards_np_staged(
+                staged, dtype=self.inference_dtype
+            )
+            out.extend(float(h) for h in hazards[:, -1])
+        return out
+
+    def _push_hazard(self, customer_id: int, hazard: float) -> int:
+        """Append one hazard sample; returns evicted-entry count."""
+        history = self._hazards[customer_id]
+        history.append(hazard)
+        detect_window = self.model.config.detect_window
+        # Keep bounded memory for the rolling survival computation.
+        if len(history) > 4 * detect_window:
+            evicted = len(history) - 2 * detect_window
+            self._hazards[customer_id] = history[-2 * detect_window :]
+            return evicted
+        return 0
+
+    def _decide(self, customer_id: int, minute: int) -> OnlineAlert | None:
+        """Threshold/suppression decision — always per-customer, both lanes."""
+        if minute < self._suppressed_until.get(customer_id, -1):
+            return None
+        survival = self._survival(customer_id)
+        if survival < self.threshold:
+            # Suppress re-alerting until re-armed (CScrub notice or
+            # rearm_after minutes, whichever first).
+            self._suppressed_until[customer_id] = minute + self.rearm_after
+            return OnlineAlert(customer_id, minute, survival)
+        return None
 
     # ------------------------------------------------------------------
     def observe_minute(
@@ -352,31 +445,34 @@ class OnlineXatu:
 
             alerts: list[OnlineAlert] = []
             evicted = 0
-            detect_window = self.model.config.detect_window
+            customers = sorted(self._watched)
             with trace("online.score_customers"):
-                for customer_id in sorted(self._watched):
-                    score_start = time.perf_counter() if telemetry_on else 0.0
-                    window = self._feature_window(customer_id, minute)
-                    x = self.scaler.transform(window)[None, :, :]
-                    hazards = self.model.hazards_np(x)[0]
-                    self._hazards[customer_id].append(float(hazards[-1]))
-                    # Keep bounded memory for the rolling survival computation.
-                    if len(self._hazards[customer_id]) > 4 * detect_window:
-                        evicted += len(self._hazards[customer_id]) - 2 * detect_window
-                        self._hazards[customer_id] = self._hazards[customer_id][-2 * detect_window:]
+                if self.batched and customers:
+                    batch_start = time.perf_counter() if telemetry_on else 0.0
+                    last_hazards = self._score_batched(customers, minute)
+                    for customer_id, hazard in zip(customers, last_hazards):
+                        evicted += self._push_hazard(customer_id, hazard)
+                        alert = self._decide(customer_id, minute)
+                        if alert is not None:
+                            alerts.append(alert)
                     if telemetry_on:
                         registry.histogram(
-                            "online.score_seconds",
-                            "per-customer scoring latency (one minute refresh)",
-                        ).observe(time.perf_counter() - score_start)
-                    if minute < self._suppressed_until.get(customer_id, -1):
-                        continue
-                    survival = self._survival(customer_id)
-                    if survival < self.threshold:
-                        alerts.append(OnlineAlert(customer_id, minute, survival))
-                        # Suppress re-alerting until re-armed (CScrub notice or
-                        # rearm_after minutes, whichever first).
-                        self._suppressed_until[customer_id] = minute + self.rearm_after
+                            "online.batch_score_seconds",
+                            "batched-lane scoring latency (all customers, one minute)",
+                        ).observe(time.perf_counter() - batch_start)
+                else:
+                    for customer_id in customers:
+                        score_start = time.perf_counter() if telemetry_on else 0.0
+                        hazard = self._score_one(customer_id, minute)
+                        evicted += self._push_hazard(customer_id, hazard)
+                        if telemetry_on:
+                            registry.histogram(
+                                "online.score_seconds",
+                                "per-customer scoring latency (one minute refresh)",
+                            ).observe(time.perf_counter() - score_start)
+                        alert = self._decide(customer_id, minute)
+                        if alert is not None:
+                            alerts.append(alert)
         self._pending.extend(alerts)
         # Bounded memory: matrix cells older than the model lookback (plus
         # a safety margin) and expired clustering alerts are dead state.

@@ -33,7 +33,14 @@ from ..analysis.sanitizer import check_finite, sanitize_enabled
 from ..obs.registry import get_registry, obs_enabled
 from .autograd import Tensor, get_tape_hook, is_grad_enabled, resolve_inference_dtype
 
-__all__ = ["lstm_sequence", "avg_pool_1d", "max_pool_1d"]
+__all__ = [
+    "lstm_sequence",
+    "avg_pool_1d",
+    "max_pool_1d",
+    "pool_infer",
+    "dense_infer",
+    "lstm_infer_batched",
+]
 
 
 def _sigmoid(a: np.ndarray) -> np.ndarray:
@@ -110,6 +117,125 @@ def _lstm_infer(
         np.tanh(c, out=tmp)
         np.multiply(o, tmp, out=h)
     return Tensor(outputs), (Tensor(h), Tensor(c))
+
+
+def lstm_infer_batched(
+    X: np.ndarray,
+    Wx: np.ndarray,
+    Wh: np.ndarray,
+    bias: np.ndarray,
+) -> np.ndarray:
+    """Batch-first graph-free LSTM inference over stacked sequences.
+
+    ``X`` is ``(batch, time, features)`` where each batch item is one
+    independent sequence (one customer, in the serving lane).  Returns the
+    hidden sequence ``(batch, time, hidden)``.
+
+    Bitwise contract: row ``b`` of the result equals
+    ``lstm_sequence(x[b:b+1], ...)`` under ``no_grad`` exactly, not just to
+    round-off.  The per-item guarantee rests on keeping every matmul a
+    *stacked* 3-D ``np.matmul`` whose per-item 2-D shape matches the
+    single-sequence call — ``(B, 1, hidden) @ (hidden, 4*hidden)`` for the
+    recurrent step and ``(B, time, features) @ (features, 4*hidden)`` for
+    the input projection.  Flattening either into one big 2-D GEMM changes
+    the BLAS kernel's blocking with the row count and is **not** row-stable;
+    the differential tests in ``tests/test_batched_equivalence.py`` pin the
+    stacked form.  All elementwise work reuses the exact expressions of
+    :func:`_lstm_infer`.
+    """
+    X, Wx, Wh, b = _maybe_cast(
+        np.asarray(X), np.asarray(Wx), np.asarray(Wh), np.asarray(bias)
+    )
+    if sanitize_enabled():
+        check_finite("lstm_infer_batched.inputs", x=X, w_x=Wx, w_h=Wh, bias=b)
+    batch, steps, _features = X.shape
+    hidden = Wh.shape[0]
+    if obs_enabled():
+        registry = get_registry()
+        registry.counter(
+            "nn.lstm_infer_batched_calls", "batch-first fused LSTM inference calls"
+        ).inc()
+        registry.counter(
+            "nn.lstm_infer_steps", "timesteps scored by the inference lane"
+        ).inc(batch * steps)
+
+    # Stacked input projection; per-item identical to the 2-D
+    # ``(time, features) @ Wx`` the single-sequence path computes.
+    x_proj = np.matmul(X, Wx) + b
+
+    outputs = np.empty((batch, steps, hidden), dtype=X.dtype)
+    h = np.zeros((batch, 1, hidden), dtype=X.dtype)
+    c = np.zeros((batch, 1, hidden), dtype=X.dtype)
+    gates = np.empty((batch, 1, 4 * hidden), dtype=X.dtype)
+    e = np.empty_like(gates)
+    num = np.empty_like(gates)
+    neg = np.empty(gates.shape, dtype=bool)
+    g = np.empty((batch, 1, hidden), dtype=X.dtype)
+    tmp = np.empty((batch, 1, hidden), dtype=X.dtype)
+    for t in range(steps):
+        np.matmul(h, Wh, out=gates)
+        gates += x_proj[:, t : t + 1]
+        np.tanh(gates[..., 2 * hidden : 3 * hidden], out=g)
+        np.abs(gates, out=e)
+        np.negative(e, out=e)
+        np.exp(e, out=e)
+        # Selection (no arithmetic), so reusing buffers instead of
+        # ``np.where`` keeps the serving loop allocation-free per step
+        # while producing the same bits.
+        np.less(gates, 0, out=neg)
+        num.fill(1.0)
+        np.copyto(num, e, where=neg)
+        e += 1.0
+        np.divide(num, e, out=num)
+        i = num[..., :hidden]
+        f = num[..., hidden : 2 * hidden]
+        o = num[..., 3 * hidden :]
+        np.multiply(f, c, out=c)
+        np.multiply(i, g, out=tmp)
+        c += tmp
+        h = outputs[:, t : t + 1]
+        np.tanh(c, out=tmp)
+        np.multiply(o, tmp, out=h)
+    if sanitize_enabled():
+        check_finite("lstm_infer_batched.outputs", outputs=outputs, cell=c)
+    return outputs
+
+
+def dense_infer(
+    X: np.ndarray,
+    W: np.ndarray,
+    b: np.ndarray,
+    activation: str = "linear",
+) -> np.ndarray:
+    """Graph-free Dense forward, bitwise-faithful to the Tensor op chain.
+
+    Under a reduced-precision policy the Tensor lane does *not* down-cast
+    the float64 parameters before computing: each binary op promotes to the
+    widest operand dtype and only the op's **result** is cast back to the
+    policy dtype by ``Tensor.__init__``.  This mirror reproduces that
+    cast-per-op dance (matmul → cast → add bias → cast → activation) so a
+    float32 batched lane matches the per-item Tensor lane bit for bit.
+    The leading dimensions of ``X`` are stacked batch axes, which keeps the
+    matmul a per-item-stable stacked GEMM (see :func:`lstm_infer_batched`).
+    """
+    dtype = resolve_inference_dtype()
+    out = np.matmul(X, W)
+    if dtype is not None and out.dtype != dtype:
+        out = out.astype(dtype)
+    out = out + b
+    if dtype is not None and out.dtype != dtype:
+        out = out.astype(dtype)
+    if activation in (None, "linear"):
+        return out
+    if activation == "tanh":
+        return np.tanh(out)
+    if activation == "softplus":
+        return np.logaddexp(0.0, out)
+    if activation == "sigmoid":
+        return _sigmoid(out)
+    if activation == "relu":
+        return np.maximum(out, 0.0)
+    raise ValueError(f"unknown activation {activation!r}")
 
 
 def lstm_sequence(
@@ -277,6 +403,48 @@ def _pool_split(X: np.ndarray, window: int):
     return full, tail, nfull, rem
 
 
+def _avg_pool_forward(X: np.ndarray, window: int):
+    """Shared avg-pool forward; returns ``(out, full, tail, nfull, rem)``."""
+    full, tail, nfull, rem = _pool_split(X, window)
+    pieces = []
+    if nfull:
+        pieces.append(full.sum(axis=2) * (1.0 / window))
+    if rem:
+        pieces.append(tail.sum(axis=1, keepdims=True) * (1.0 / rem))
+    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    return out, full, tail, nfull, rem
+
+
+def _max_pool_forward(X: np.ndarray, window: int):
+    """Shared max-pool forward; returns ``(out, full, tail, nfull, rem)``."""
+    full, tail, nfull, rem = _pool_split(X, window)
+    pieces = []
+    if nfull:
+        pieces.append(full.max(axis=2))
+    if rem:
+        pieces.append(tail.max(axis=1, keepdims=True))
+    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    return out, full, tail, nfull, rem
+
+
+def pool_infer(X: np.ndarray, window: int, mode: str) -> np.ndarray:
+    """Graph-free pooling forward over ``(batch, time, features)``.
+
+    Runs the *same* reduction expressions as the tape kernels below, so
+    each batch row is bitwise identical to pooling that row alone (the
+    window-axis reductions are independent per batch item).  ``window == 1``
+    is the identity, matching ``AvgPool1D.forward`` / ``MaxPool1D.forward``
+    which skip the kernel entirely in that case.
+    """
+    if window == 1:
+        return X
+    if mode == "avg":
+        return _avg_pool_forward(X, window)[0]
+    if mode == "max":
+        return _max_pool_forward(X, window)[0]
+    raise ValueError(f"unknown pooling mode {mode!r}")
+
+
 def avg_pool_1d(x: Tensor, window: int) -> Tensor:
     """Non-overlapping temporal average pooling as one tape node.
 
@@ -286,13 +454,7 @@ def avg_pool_1d(x: Tensor, window: int) -> Tensor:
     hook = get_tape_hook()
     start = time.perf_counter() if hook is not None else 0.0
     (X,) = _maybe_cast(x.data)
-    full, tail, nfull, rem = _pool_split(X, window)
-    pieces = []
-    if nfull:
-        pieces.append(full.sum(axis=2) * (1.0 / window))
-    if rem:
-        pieces.append(tail.sum(axis=1, keepdims=True) * (1.0 / rem))
-    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    out, full, tail, nfull, rem = _avg_pool_forward(X, window)
     if hook is not None:
         hook.record_forward("avg_pool_1d", time.perf_counter() - start)
     if sanitize_enabled():
@@ -325,13 +487,7 @@ def max_pool_1d(x: Tensor, window: int) -> Tensor:
     hook = get_tape_hook()
     start = time.perf_counter() if hook is not None else 0.0
     (X,) = _maybe_cast(x.data)
-    full, tail, nfull, rem = _pool_split(X, window)
-    pieces = []
-    if nfull:
-        pieces.append(full.max(axis=2))
-    if rem:
-        pieces.append(tail.max(axis=1, keepdims=True))
-    out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces, axis=1)
+    out, full, tail, nfull, rem = _max_pool_forward(X, window)
     if hook is not None:
         hook.record_forward("max_pool_1d", time.perf_counter() - start)
     if sanitize_enabled():

@@ -16,6 +16,16 @@ stores are global, only its traffic matrix is partition-local — so the
 merged alert stream is byte-identical for any shard count.  Tests assert
 this.
 
+Batched inference lane
+----------------------
+With ``ServeConfig.batched`` (the default) each shard's detector scores
+all its watched customers in **one** stacked fused-inference pass per
+minute (:meth:`~repro.core.XatuModel.hazards_np_batched`) instead of one
+model call per customer; threshold/suppression decisions stay
+per-customer.  The lanes are byte-identical in alerts and checkpoints —
+differential tests prove it — so the per-customer lane survives purely
+as the reference oracle and the slow path for debugging.
+
 Durability
 ----------
 ``checkpoint()`` snapshots the collector plus every shard's complete
@@ -39,6 +49,8 @@ from __future__ import annotations
 import time
 from pathlib import Path
 from typing import Callable, Iterable, Sequence
+
+import numpy as np
 
 from ..core.online import OnlineAlert, OnlineXatu
 from ..netflow.records import FlowRecord
@@ -113,7 +125,22 @@ class ServeEngine:
             addr: cid for addr, cid in self.customer_of.items() if cid % n == index
         }
         factory = self._factory
-        return lambda: factory(partition)
+        batched = self.config.batched
+        inference_dtype = self.config.inference_dtype
+
+        def build() -> OnlineXatu:
+            detector = factory(partition)
+            # Lane knobs are engine policy, not detector state: applied on
+            # every (re)build, never serialized — so checkpoints are
+            # lane-independent and a restore may flip lanes freely.
+            if isinstance(detector, OnlineXatu):
+                detector.batched = batched
+                detector.inference_dtype = (
+                    None if inference_dtype is None else np.dtype(inference_dtype)
+                )
+            return detector
+
+        return build
 
     # ------------------------------------------------------------------
     # ingest

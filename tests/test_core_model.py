@@ -138,7 +138,7 @@ class TestXatuModel:
 class TestDatasetBuilder:
     @pytest.fixture(scope="class")
     def built(self, trace):
-        alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+        alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         extractor = FeatureExtractor(trace)
         cfg = XatuModelConfig(
             hidden_size=4, dense_size=4, detect_window=5,

@@ -61,33 +61,33 @@ class TestCusum:
 
 class TestDetectors:
     def test_netscout_fires_on_sustained_attack(self, trace):
-        alerts = NetScoutDetector().run(trace)
+        alerts = NetScoutDetector().detect(trace)
         assert alerts
         hits = [a for a in alerts if a.event_id >= 0]
         assert hits, "NetScout should catch at least some attacks"
 
     def test_netscout_detects_after_onset(self, trace):
-        for a in NetScoutDetector().run(trace):
+        for a in NetScoutDetector().detect(trace):
             if a.event_id >= 0:
                 event = trace.events[a.event_id]
                 assert a.detect_minute >= event.onset
 
     def test_alert_windows_well_formed(self, trace):
         for detector in (NetScoutDetector(), FastNetMonDetector()):
-            for a in detector.run(trace):
+            for a in detector.detect(trace):
                 assert 0 <= a.detect_minute < a.end_minute <= trace.horizon
                 assert a.peak_bytes >= 0
 
     def test_fnm_more_sensitive_than_netscout(self, trace):
-        ns = NetScoutDetector().run(trace)
-        fnm = FastNetMonDetector().run(trace)
+        ns = NetScoutDetector().detect(trace)
+        fnm = FastNetMonDetector().detect(trace)
         ns_matched = {a.event_id for a in ns if a.event_id >= 0}
         fnm_matched = {a.event_id for a in fnm if a.event_id >= 0}
         assert len(fnm_matched) >= len(ns_matched)
 
     def test_sustain_filters_short_excursions(self, trace):
         strict = NetScoutDetector(sustain=30)
-        assert len(strict.run(trace)) <= len(NetScoutDetector(sustain=2).run(trace))
+        assert len(strict.detect(trace)) <= len(NetScoutDetector(sustain=2).detect(trace))
 
 
 class TestScrubbingCenter:

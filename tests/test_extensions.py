@@ -121,11 +121,11 @@ class TestEntropyDetector:
         assert abs(np.median(during) - np.median(quiet)) > 0.05
 
     def test_detector_produces_well_formed_alerts(self, trace):
-        alerts = EntropyDetector().run(trace)
+        alerts = EntropyDetector().detect(trace)
         for a in alerts:
             assert 0 <= a.detect_minute < a.end_minute <= trace.horizon
 
     def test_detector_catches_some_attacks(self, trace):
-        alerts = EntropyDetector().run(trace)
+        alerts = EntropyDetector().detect(trace)
         matched = {a.event_id for a in alerts if a.event_id >= 0}
         assert matched, "entropy deviation should catch at least one flood"

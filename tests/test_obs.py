@@ -578,12 +578,12 @@ class TestOnlineAndScrubInstrumentation:
             route_table=RouteTable(),
         )
         set_enabled(True)
-        online.observe_minute(0, [_flow(0), _flow(1)])
+        online.step(0, [_flow(0), _flow(1)])
         unknown = FlowRecord(
             timestamp=1, src_addr=9, dst_addr=777, src_port=1, dst_port=2,
             protocol=6, packets=1, bytes_=10,
         )
-        online.observe_minute(1, [unknown])
+        online.step(1, [unknown])
         registry = get_registry()
         assert registry.counter("online.minutes").value() == 2
         assert registry.counter("online.flows").value() == 2
@@ -656,12 +656,30 @@ class TestBenchObs:
             write_bench_json,
         )
 
-        report = run_all(smoke=True, cases=("pooling",))
+        # Full-size run: smoke timings are single-rep noise and never fail.
+        report = run_all(cases=("pooling",), reps=1)
         baseline = load_bench_json(write_bench_json(report, tmp_path))
         for entry in baseline["benchmarks"].values():
             entry["best_s"] = entry["best_s"] / 100.0
         warnings, failures = compare_to_baseline(report, baseline)
         assert any("slower" in f for f in failures)
+
+    def test_compare_demotes_smoke_regressions_to_warnings(self, tmp_path):
+        from repro.bench import (
+            compare_to_baseline,
+            load_bench_json,
+            run_all,
+            write_bench_json,
+        )
+
+        report = run_all(smoke=True, cases=("pooling",))
+        baseline = load_bench_json(write_bench_json(report, tmp_path))
+        for entry in baseline["benchmarks"].values():
+            entry["best_s"] = entry["best_s"] / 100.0
+        warnings, failures = compare_to_baseline(report, baseline)
+        assert failures == []
+        assert any("smoke mode" in w for w in warnings)
+        assert any("slower" in w for w in warnings)
 
     def test_obs_overhead_render(self):
         from repro.bench import run_all

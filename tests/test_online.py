@@ -68,16 +68,16 @@ class TestOnlineXatu:
     def test_minutes_must_advance(self, online_setup):
         online = make_online(online_setup)
         trace = online_setup[0]
-        online.observe_minute(0, minute_flows(trace, 0))
+        online.step(0, minute_flows(trace, 0))
         with pytest.raises(ValueError, match="advance"):
-            online.observe_minute(0, [])
+            online.step(0, [])
 
     def test_cold_model_stays_quiet(self, online_setup):
         """The cold-initialized model's survival stays near 1 — no alerts."""
         online = make_online(online_setup, threshold=0.1)
         trace = online_setup[0]
         for minute in range(5):
-            alerts = online.observe_minute(minute, minute_flows(trace, minute))
+            alerts = online.step(minute, minute_flows(trace, minute))
             assert alerts == []
         assert online.poll_alerts() == []
         assert online.current_minute == 4
@@ -87,7 +87,7 @@ class TestOnlineXatu:
         from tests.test_netflow import make_flow
 
         stray = make_flow(timestamp=0, dst_addr=123456)
-        online.observe_minute(0, [stray])
+        online.step(0, [stray])
         assert len(online.matrix) == 0
 
     def test_classification_tags_blocklisted(self, online_setup):
@@ -101,7 +101,7 @@ class TestOnlineXatu:
         from tests.test_netflow import make_flow
 
         flow = make_flow(timestamp=0, src_addr=listed, dst_addr=customer.address)
-        online.observe_minute(0, [flow])
+        online.step(0, [flow])
         from repro.netflow import SOURCE_CLASS_BLOCKLIST
 
         assert online.matrix.total_bytes(
@@ -127,7 +127,7 @@ class TestOnlineXatu:
         from repro.netflow import SOURCE_CLASS_PREV_ATTACKER
 
         flow = make_flow(timestamp=2, src_addr=attacker, dst_addr=customer.address)
-        online.observe_minute(2, [flow])
+        online.step(2, [flow])
         assert online.matrix.total_bytes(
             customer.customer_id, 2, 3, SOURCE_CLASS_PREV_ATTACKER
         ) > 0
@@ -142,14 +142,14 @@ class TestOnlineXatu:
             customer_of=customer_of, blocklist=blocklist,
             route_table=trace.world.route_table, rearm_after=3,
         )
-        first = online.observe_minute(0, minute_flows(trace, 0))
+        first = online.step(0, minute_flows(trace, 0))
         assert first, "hot model must alert immediately"
         alerted = {a.customer_id for a in first}
         # Suppressed during the re-arm window.
-        second = online.observe_minute(1, minute_flows(trace, 1))
+        second = online.step(1, minute_flows(trace, 1))
         assert not ({a.customer_id for a in second} & alerted)
         # Re-armed after the window.
-        third = online.observe_minute(3, minute_flows(trace, 3))
+        third = online.step(3, minute_flows(trace, 3))
         assert {a.customer_id for a in third} & alerted
 
     def test_mitigation_end_rearms_early(self, online_setup):
@@ -161,10 +161,10 @@ class TestOnlineXatu:
             customer_of=customer_of, blocklist=blocklist,
             route_table=trace.world.route_table, rearm_after=100,
         )
-        first = online.observe_minute(0, minute_flows(trace, 0))
+        first = online.step(0, minute_flows(trace, 0))
         cid = first[0].customer_id
         online.ingest_mitigation_end(cid, minute=1)
-        second = online.observe_minute(1, minute_flows(trace, 1))
+        second = online.step(1, minute_flows(trace, 1))
         assert cid in {a.customer_id for a in second}
 
     def test_poll_alerts_drains(self, online_setup):
@@ -176,7 +176,7 @@ class TestOnlineXatu:
             customer_of=customer_of, blocklist=blocklist,
             route_table=trace.world.route_table,
         )
-        online.observe_minute(0, minute_flows(trace, 0))
+        online.step(0, minute_flows(trace, 0))
         drained = online.poll_alerts()
         assert drained
         assert online.poll_alerts() == []
@@ -186,6 +186,6 @@ class TestOnlineXatu:
         online = make_online(online_setup, threshold=0.01)
         window = online.model.config.detect_window
         for minute in range(5 * window):
-            online.observe_minute(minute, [])
+            online.step(minute, [])
         for series in online._hazards.values():
             assert len(series) <= 4 * window

@@ -14,7 +14,7 @@ from tests.conftest import small_model_config
 
 @pytest.fixture(scope="module")
 def trained_registry(trace):
-    alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+    alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
     extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
     registry = XatuModelRegistry(
         small_model_config(), TrainConfig(epochs=2, batch_size=8, learning_rate=3e-3)

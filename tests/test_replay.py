@@ -91,6 +91,6 @@ class TestReplay:
         )
         lo = trace.horizon // 2
         for minute, flows in rp.replay(lo, lo + 5):
-            online.observe_minute(minute, flows)
+            online.step(minute, flows)
         assert online.current_minute == lo + 4
         assert len(online.matrix) > 0

@@ -422,11 +422,18 @@ class TestGradModeIsolation:
 # ----------------------------------------------------------------------
 # the real detector: invariance, backends, crash equivalence
 # ----------------------------------------------------------------------
-def _xatu_engine(shards, backend="inline", checkpoint_dir=None, threshold=0.9):
+def _xatu_engine(
+    shards, backend="inline", checkpoint_dir=None, threshold=0.9, batched=True
+):
     return ServeEngine(
         _xatu_factory(threshold),
         ADDRESS_OF,
-        ServeConfig(shards=shards, backend=backend, checkpoint_dir=checkpoint_dir),
+        ServeConfig(
+            shards=shards,
+            backend=backend,
+            checkpoint_dir=checkpoint_dir,
+            batched=batched,
+        ),
     )
 
 
@@ -496,6 +503,103 @@ class TestCrashEquivalence:
             assert (base_path / name).read_bytes() == (
                 crash_path / name
             ).read_bytes(), name
+
+
+class TestBatchedLaneServe:
+    """The batched lane through the full engine: equivalence + durability.
+
+    ``ServeConfig.batched`` defaults to True, so every other engine test
+    already runs the batched lane; these tests pin the cross-lane
+    guarantees — byte-identical streams and checkpoints against the
+    per-customer oracle, including across a kill-and-restore and across a
+    restore that flips the lane.
+    """
+
+    def _checkpoint_bytes(self, root) -> dict[str, bytes]:
+        path = latest_checkpoint(root)
+        return {
+            name: (path / name).read_bytes()
+            for name in ("MANIFEST.json", "engine.pkl", "shard-00.pkl", "shard-01.pkl")
+        }
+
+    def test_lanes_byte_identical_through_engine(self, tmp_path):
+        minutes = _minutes_of_flows(MINUTES)
+        streams, checkpoints = {}, {}
+        for lane in (True, False):
+            root = tmp_path / f"lane-{lane}"
+            with _xatu_engine(2, checkpoint_dir=root, batched=lane) as engine:
+                streams[lane] = _drive(
+                    engine, DatagramCodec(engine_id=1), minutes, cdet_at={3}
+                )
+                engine.checkpoint()
+            checkpoints[lane] = self._checkpoint_bytes(root)
+        assert streams[True], "the workload should produce alerts"
+        assert streams[True] == streams[False]
+        assert checkpoints[True] == checkpoints[False]
+
+    def test_batched_kill_and_restore_matches_per_customer_baseline(self, tmp_path):
+        minutes = _minutes_of_flows(MINUTES)
+
+        # per-customer oracle, never interrupted
+        with _xatu_engine(
+            2, checkpoint_dir=tmp_path / "oracle", batched=False
+        ) as engine:
+            baseline = _drive(engine, DatagramCodec(engine_id=1), minutes, cdet_at={3})
+            engine.checkpoint()
+
+        # batched lane, killed at RESTART_AT and restored
+        codec = DatagramCodec(engine_id=1)
+        root = tmp_path / "batched-crash"
+        engine = _xatu_engine(2, checkpoint_dir=root, batched=True)
+        restarted = _drive(engine, codec, minutes[: RESTART_AT + 1], cdet_at={3})
+        engine.checkpoint()
+        engine.close()
+
+        engine = _xatu_engine(2, checkpoint_dir=root, batched=True)
+        assert engine.restore() == RESTART_AT
+        restarted += _drive(
+            engine, codec, minutes[RESTART_AT + 1 :], start=RESTART_AT + 1
+        )
+        engine.checkpoint()
+        engine.close()
+
+        assert baseline, "the workload should produce alerts"
+        assert restarted == baseline
+        assert self._checkpoint_bytes(tmp_path / "oracle") == self._checkpoint_bytes(
+            root
+        )
+
+    @pytest.mark.parametrize(
+        "first_lane,second_lane", [(True, False), (False, True)]
+    )
+    def test_lane_flip_across_restart_boundary(self, tmp_path, first_lane, second_lane):
+        minutes = _minutes_of_flows(MINUTES)
+
+        with _xatu_engine(
+            2, checkpoint_dir=tmp_path / "base", batched=True
+        ) as engine:
+            baseline = _drive(engine, DatagramCodec(engine_id=1), minutes, cdet_at={3})
+            engine.checkpoint()
+
+        # first_lane until the restart, then the opposite lane to the end:
+        # checkpoints carry no lane state, so the flip must be invisible.
+        codec = DatagramCodec(engine_id=1)
+        root = tmp_path / "flip"
+        engine = _xatu_engine(2, checkpoint_dir=root, batched=first_lane)
+        flipped = _drive(engine, codec, minutes[: RESTART_AT + 1], cdet_at={3})
+        engine.checkpoint()
+        engine.close()
+
+        engine = _xatu_engine(2, checkpoint_dir=root, batched=second_lane)
+        assert engine.restore() == RESTART_AT
+        flipped += _drive(
+            engine, codec, minutes[RESTART_AT + 1 :], start=RESTART_AT + 1
+        )
+        engine.checkpoint()
+        engine.close()
+
+        assert flipped == baseline
+        assert self._checkpoint_bytes(tmp_path / "base") == self._checkpoint_bytes(root)
 
 
 class TestOnlineStateRoundTrip:

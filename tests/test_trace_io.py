@@ -80,8 +80,8 @@ class TestRoundtrip:
         from repro.detect import NetScoutDetector
 
         _dir, original, restored = saved
-        a = NetScoutDetector().run(original)
-        b = NetScoutDetector().run(restored)
+        a = NetScoutDetector().detect(original)
+        b = NetScoutDetector().detect(restored)
         assert [(x.customer_id, x.detect_minute) for x in a] == [
             (x.customer_id, x.detect_minute) for x in b
         ]

@@ -110,7 +110,7 @@ class TestRegistryToOnline:
         from repro.signals import FeatureExtractor
         from tests.conftest import small_model_config
 
-        alerts = [a for a in NetScoutDetector().run(trace) if a.event_id >= 0]
+        alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
         registry = XatuModelRegistry(
             small_model_config(), TrainConfig(epochs=1, batch_size=8)
@@ -129,7 +129,7 @@ class TestRegistryToOnline:
             route_table=trace.world.route_table,
         )
         assert online.threshold == 0.3
-        online.observe_minute(0, [])
+        online.step(0, [])
         assert online.current_minute == 0
 
 
