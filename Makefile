@@ -4,8 +4,9 @@
 PY := PYTHONPATH=src python
 
 .PHONY: verify test fast golden-check golden-record bench bench-full \
-        bench-check metrics-selftest telemetry serve-smoke \
-        serve-batched-smoke lint lint-baseline sanitize-test
+        bench-check bench-ingest bench-ingest-full metrics-selftest \
+        telemetry serve-smoke serve-batched-smoke lint lint-baseline \
+        sanitize-test
 
 test:
 	$(PY) -m pytest -x -q
@@ -32,6 +33,15 @@ bench-full:
 # overwriting it; host mismatches warn instead of fail.
 bench-check:
 	$(PY) -m repro.cli bench --tag fused --check
+
+# Columnar-ingest benchmarks (docs/PERFORMANCE.md): zero-copy codec,
+# group-by aggregation, vectorized sampling, and the shared-memory shard
+# transport.  Smoke mode for CI; -full refreshes the committed baseline.
+bench-ingest:
+	$(PY) -m repro.cli bench --suite ingest --smoke --out /tmp/repro-bench
+
+bench-ingest-full:
+	$(PY) -m repro.cli bench --suite ingest
 
 # Telemetry (docs/OBSERVABILITY.md): exporter selftest, and a pipeline
 # run that writes a full snapshot to /tmp/repro-telemetry.json.

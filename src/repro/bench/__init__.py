@@ -16,6 +16,7 @@ from .harness import (
     time_callable,
     write_bench_json,
 )
+from .ingest import INGEST_BENCH_CASES, run_ingest
 from .micro import BENCH_CASES, run_all
 
 __all__ = [
@@ -24,7 +25,9 @@ __all__ = [
     "BenchReport",
     "BenchTiming",
     "BENCH_CASES",
+    "INGEST_BENCH_CASES",
     "run_all",
+    "run_ingest",
     "time_callable",
     "write_bench_json",
     "load_bench_json",

@@ -292,23 +292,31 @@ def cmd_bench(args) -> int:
 
     from .bench import (
         BENCH_CASES,
+        INGEST_BENCH_CASES,
         compare_to_baseline,
         load_bench_json,
         run_all,
+        run_ingest,
         write_bench_json,
     )
 
+    if args.suite == "ingest":
+        runner, suite_cases = run_ingest, INGEST_BENCH_CASES
+        if args.tag == "fused":  # the parser default belongs to the nn suite
+            args.tag = "ingest"
+    else:
+        runner, suite_cases = run_all, BENCH_CASES
     cases = None
     if args.only:
-        unknown = [c for c in args.only if c not in BENCH_CASES]
+        unknown = [c for c in args.only if c not in suite_cases]
         if unknown:
             print(f"unknown benchmark case(s): {', '.join(unknown)}; "
-                  f"choose from {', '.join(BENCH_CASES)}")
+                  f"choose from {', '.join(suite_cases)}")
             return 2
         cases = tuple(args.only)
     telemetry_path = getattr(args, "telemetry", None)
     with _telemetry_context(telemetry_path):
-        report = run_all(
+        report = runner(
             tag=args.tag, smoke=args.smoke, reps=args.reps, cases=cases
         )
         if telemetry_path:
@@ -423,6 +431,7 @@ def cmd_serve(args) -> int:
         config = ServeConfig(
             shards=args.shards,
             backend=args.backend,
+            transport=args.transport,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             batched=args.lane == "batched",
@@ -702,8 +711,13 @@ def build_parser() -> argparse.ArgumentParser:
         "fused and unfused.  Results go to a versioned BENCH_<tag>.json "
         "(see docs/PERFORMANCE.md).",
     )
+    bench.add_argument("--suite", choices=("fused", "ingest"), default="fused",
+                       help="benchmark suite: 'fused' times the nn kernels, "
+                       "'ingest' times the columnar NetFlow ingest path and "
+                       "the shared-memory shard transport")
     bench.add_argument("--tag", default="fused",
-                       help="result file suffix: BENCH_<tag>.json")
+                       help="result file suffix: BENCH_<tag>.json "
+                       "(defaults to the suite name)")
     bench.add_argument("--reps", type=int, default=None,
                        help="timed repetitions per case (default 5, smoke 1)")
     bench.add_argument("--smoke", action="store_true",
@@ -743,6 +757,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker shards (customer_id %% shards)")
     serve.add_argument("--backend", choices=["inline", "thread", "process"],
                        default="inline", help="shard execution backend")
+    serve.add_argument("--transport", choices=["shm", "pipe"], default="shm",
+                       help="process-backend payload transport: shared-memory "
+                       "rings (default; falls back to pipe when unavailable) "
+                       "or pickled pipe messages — byte-identical outputs "
+                       "either way")
     serve.add_argument("--checkpoint-dir", default=None,
                        help="directory for versioned state checkpoints")
     serve.add_argument("--checkpoint-every", type=int, default=0,

@@ -35,7 +35,7 @@ from ..netflow.matrix import (
     SOURCE_CLASS_SPOOFED,
     TrafficMatrix,
 )
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord
 from ..netflow.routing import RouteTable
 from ..nn.serialization import state_from_bytes, state_to_bytes
 from ..obs import get_registry, obs_enabled, trace
@@ -225,6 +225,8 @@ class OnlineXatu:
         self._pending: list[OnlineAlert] = []
         self._spoof_cache: dict[int, bool] = {}
         self._watched: set[int] = set(self.customer_of.values())
+        self._routing_cache: tuple | None = None
+        self._blocklist_cache: tuple | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -283,6 +285,113 @@ class OnlineXatu:
         if spoofed:
             classes.append(SOURCE_CLASS_SPOOFED)
         return classes
+
+    # ------------------------------------------------------------------
+    # columnar ingest lane (FlowBatch inputs)
+    # ------------------------------------------------------------------
+    def _routing_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted (dst address, customer id) lookup arrays for routing.
+
+        ``customer_of`` is deployment context, fixed between restores; the
+        cache key covers replacement (identity) and growth (length), the
+        only mutations the serving layer performs.
+        """
+        cache = self._routing_cache
+        if (
+            cache is None
+            or cache[0] is not self.customer_of
+            or cache[1] != len(self.customer_of)
+        ):
+            n = len(self.customer_of)
+            addrs = np.fromiter(self.customer_of.keys(), dtype=np.int64, count=n)
+            cids = np.fromiter(self.customer_of.values(), dtype=np.int64, count=n)
+            order = np.argsort(addrs, kind="stable")
+            cache = (self.customer_of, n, addrs[order], cids[order])
+            self._routing_cache = cache
+        return cache[2], cache[3]
+
+    def _blocklist_mask(self, src: np.ndarray) -> np.ndarray:
+        """Vectorized A1 membership over a source-address column."""
+        blocklist = self.blocklist
+        if isinstance(blocklist, (set, frozenset)):
+            if not blocklist:
+                return np.zeros(len(src), dtype=bool)
+            cache = self._blocklist_cache
+            if (
+                cache is None
+                or cache[0] is not blocklist
+                or cache[1] != len(blocklist)
+            ):
+                table = np.fromiter(
+                    blocklist, dtype=np.int64, count=len(blocklist)
+                )
+                table.sort()
+                cache = (blocklist, len(blocklist), table)
+                self._blocklist_cache = cache
+            table = cache[2]
+            slot = np.minimum(np.searchsorted(table, src), len(table) - 1)
+            return table[slot] == src
+        # Custom membership object: one Python check per *unique* source.
+        uniq, inverse = np.unique(src, return_inverse=True)
+        hits = np.fromiter(
+            (int(addr) in blocklist for addr in uniq.tolist()),
+            dtype=bool,
+            count=len(uniq),
+        )
+        return hits[inverse]
+
+    def _spoof_mask(self, src: np.ndarray) -> np.ndarray:
+        """A3 verdicts per flow, consulting the route table once per unique
+        source and filling ``_spoof_cache`` with the same (python-int)
+        keys and values the scalar path would."""
+        uniq, inverse = np.unique(src, return_inverse=True)
+        verdicts = np.empty(len(uniq), dtype=bool)
+        for i, addr in enumerate(uniq.tolist()):
+            spoofed = self._spoof_cache.get(addr)
+            if spoofed is None:
+                spoofed = self.route_table.is_spoofed(addr)
+                self._spoof_cache[addr] = spoofed
+            verdicts[i] = spoofed
+        return verdicts[inverse]
+
+    def _ingest_batch(self, batch: FlowBatch) -> tuple[int, int]:
+        """Route, classify and aggregate one minute's batch columnar.
+
+        Produces exactly the state the scalar per-flow loop would: routing
+        by ``customer_of``, the three auxiliary class masks, and one
+        :meth:`TrafficMatrix.add_batch` fold (bit-identical to the
+        equivalent ``add_flow`` sequence — see ``tests/test_columnar.py``).
+        Returns ``(ingested, unrouted)`` counts.
+        """
+        arr = batch.array
+        if not len(arr):
+            return 0, 0
+        addrs, cids = self._routing_arrays()
+        dst = arr["dst_addr"].astype(np.int64)
+        if len(addrs):
+            pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
+            routed = addrs[pos] == dst
+        else:
+            routed = np.zeros(len(arr), dtype=bool)
+        unrouted = int(len(arr) - np.count_nonzero(routed))
+        if unrouted == len(arr):
+            return 0, unrouted
+        arr = arr[routed]
+        cust = cids[pos[routed]]
+        self._watched.update(map(int, np.unique(cust)))
+        src = arr["src_addr"].astype(np.int64)
+        self.matrix.add_batch(
+            cust,
+            FlowBatch(arr),
+            {
+                SOURCE_CLASS_BLOCKLIST: self._blocklist_mask(src),
+                SOURCE_CLASS_PREV_ATTACKER: self.prev_attackers.batch_mask(
+                    cust, src, arr["timestamp"].astype(np.int64)
+                ),
+                SOURCE_CLASS_SPOOFED: self._spoof_mask(src),
+            },
+        )
+        return int(len(arr)), unrouted
 
     def _feature_window(self, customer_id: int, end_minute: int) -> np.ndarray:
         lookback = self.model.config.lookback_minutes
@@ -409,16 +518,32 @@ class OnlineXatu:
                 DeprecationWarning,
                 stacklevel=2,
             )
+            if isinstance(flows, FlowBatch):
+                return self.step(int(minute_or_flows), flows)
             return self.step(int(minute_or_flows), list(flows or []))
+        if isinstance(minute_or_flows, FlowBatch):
+            # infer_minute, without materializing records: advance one
+            # minute, or jump to the newest flow timestamp in the batch.
+            minute = self._minute + 1
+            if len(minute_or_flows):
+                newest = int(minute_or_flows.array["timestamp"].max())
+                minute = max(minute, newest)
+            self.step(minute, minute_or_flows)
+            return None
         batch = list(minute_or_flows)
         self.step(infer_minute(self._minute, batch), batch)
         return None
 
-    def step(self, minute: int, flows: list[FlowRecord]) -> list[OnlineAlert]:
+    def step(
+        self, minute: int, flows: "FlowBatch | list[FlowRecord]"
+    ) -> list[OnlineAlert]:
         """Ingest one minute of flows and return any new alerts.
 
         ``minute`` must advance monotonically; quiet customers still get a
-        hazard evaluation (absence of traffic is signal too).
+        hazard evaluation (absence of traffic is signal too).  A
+        :class:`FlowBatch` input takes the columnar lane — vectorized
+        routing, classification and aggregation — which is bit-identical
+        in resulting state and alerts to the scalar per-record loop.
         """
         if minute <= self._minute:
             raise ValueError(
@@ -432,16 +557,19 @@ class OnlineXatu:
         ingested = 0
         unrouted = 0
         with trace("online.observe_minute"):
-            for flow in flows:
-                customer_id = self.customer_of.get(flow.dst_addr)
-                if customer_id is None:
-                    unrouted += 1
-                    continue
-                ingested += 1
-                self._watched.add(customer_id)
-                self.matrix.add_flow(
-                    customer_id, flow, self._classify(customer_id, flow)
-                )
+            if isinstance(flows, FlowBatch):
+                ingested, unrouted = self._ingest_batch(flows)
+            else:
+                for flow in flows:
+                    customer_id = self.customer_of.get(flow.dst_addr)
+                    if customer_id is None:
+                        unrouted += 1
+                        continue
+                    ingested += 1
+                    self._watched.add(customer_id)
+                    self.matrix.add_flow(
+                        customer_id, flow, self._classify(customer_id, flow)
+                    )
 
             alerts: list[OnlineAlert] = []
             evicted = 0

@@ -14,12 +14,15 @@ from .matrix import (
     VolumetricAccumulator,
 )
 from .records import (
+    FLOW_DTYPE,
     FLOW_WIRE_SIZE,
+    FlowBatch,
     FlowRecord,
     Protocol,
     TcpFlags,
     decode_flow,
     decode_flows,
+    decode_flows_batch,
     encode_flow,
     encode_flows,
 )
@@ -28,8 +31,9 @@ from .routing import BOGON_CIDRS, RouteEntry, RouteTable, SpoofVerdict, is_bogon
 from .sampler import FeedHealth, FlowCollector, FlowExporter, PacketSampler
 
 __all__ = [
-    "FlowRecord", "Protocol", "TcpFlags",
-    "encode_flow", "decode_flow", "encode_flows", "decode_flows", "FLOW_WIRE_SIZE",
+    "FlowRecord", "FlowBatch", "Protocol", "TcpFlags", "FLOW_DTYPE",
+    "encode_flow", "decode_flow", "encode_flows", "decode_flows",
+    "decode_flows_batch", "FLOW_WIRE_SIZE",
     "ip_to_int", "int_to_ip", "subnet24", "subnet24_str", "in_cidr", "cidr_to_range",
     "BOGON_CIDRS", "is_bogon", "RouteEntry", "RouteTable", "SpoofVerdict",
     "PacketSampler", "FlowExporter", "FlowCollector", "FeedHealth",

@@ -1,10 +1,22 @@
-"""Flow records and traffic constants.
+"""Flow records, the columnar flow batch, and traffic constants.
 
 A :class:`FlowRecord` is the reproduction's stand-in for one sampled NetFlow
 v5/v9 record: the 5-tuple, byte/packet counters, TCP flags, a timestamp, and
 the exporter's sampling rate.  The synthetic ISP world (:mod:`repro.synth`)
 emits these; the feature extractor (:mod:`repro.signals`) consumes per-minute
 aggregations of them.
+
+Columnar fast path
+------------------
+:data:`FLOW_DTYPE` is a numpy structured dtype that mirrors the wire record
+byte for byte, so a whole datagram's record block decodes as **one**
+``np.frombuffer`` view — no per-record ``struct.unpack`` — wrapped in a
+:class:`FlowBatch`.  Encoding goes the other way: the array's own buffer
+*is* the wire payload.  The scalar :class:`FlowRecord` API survives as a
+thin conversion shim (:meth:`FlowBatch.to_records` /
+:meth:`FlowBatch.from_records`), so every list-of-records caller and every
+golden fixture stands unchanged; the two paths are proven byte-identical
+by the differential suite in ``tests/test_columnar.py``.
 """
 
 from __future__ import annotations
@@ -12,15 +24,21 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
 
 __all__ = [
     "Protocol",
     "TcpFlags",
     "FlowRecord",
+    "FlowBatch",
+    "FLOW_DTYPE",
     "encode_flow",
     "decode_flow",
     "encode_flows",
     "decode_flows",
+    "decode_flows_batch",
     "FLOW_WIRE_SIZE",
 ]
 
@@ -104,11 +122,188 @@ class FlowRecord:
         return self.packets * self.sampling_rate
 
 
-# Wire format: a fixed 40-byte little-endian layout per record, preceded in
+# Wire format: a fixed 38-byte little-endian layout per record, preceded in
 # streams by a u32 record count.  This mimics the fixed-size record blocks of
 # NetFlow v5 export datagrams.
 _FLOW_STRUCT = struct.Struct("<IIIHHBBIQH2sI")
 FLOW_WIRE_SIZE = _FLOW_STRUCT.size
+
+# The same layout as a packed numpy structured dtype: field order, widths,
+# and endianness line up with ``_FLOW_STRUCT`` exactly, so a record block
+# views as an array (and an array's buffer is a record block) with zero
+# re-serialization.
+FLOW_DTYPE = np.dtype(
+    [
+        ("timestamp", "<u4"),
+        ("src_addr", "<u4"),
+        ("dst_addr", "<u4"),
+        ("src_port", "<u2"),
+        ("dst_port", "<u2"),
+        ("protocol", "u1"),
+        ("tcp_flags", "u1"),
+        ("packets", "<u4"),
+        ("bytes", "<u8"),
+        ("sampling_rate", "<u2"),
+        ("src_country", "S2"),
+        ("reserved", "<u4"),
+    ]
+)
+assert FLOW_DTYPE.itemsize == FLOW_WIRE_SIZE, "structured dtype must mirror the wire layout"
+
+
+def _encode_country(country: str) -> bytes:
+    return country.encode("ascii")[:2].ljust(2, b" ")
+
+
+def _decode_country(raw: bytes) -> str:
+    return raw.decode("ascii").strip() or "US"
+
+
+class FlowBatch:
+    """A column-oriented batch of flow records (one numpy structured array).
+
+    The canonical in-memory form of the ingest fast path: datagram decode
+    yields a ``FlowBatch`` view straight over the wire bytes, the collector
+    retains batches, and :meth:`repro.netflow.TrafficMatrix.add_batch`
+    aggregates them with vectorized group-bys.  Iteration and indexing fall
+    back to :class:`FlowRecord` conversion so protocol-shaped consumers that
+    expect record sequences keep working unmodified.
+    """
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        if array.dtype != FLOW_DTYPE:
+            raise TypeError(f"FlowBatch requires FLOW_DTYPE arrays, got {array.dtype}")
+        if array.ndim != 1:
+            raise ValueError("FlowBatch arrays must be one-dimensional")
+        self.array = array
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def empty(cls) -> "FlowBatch":
+        return cls(np.empty(0, dtype=FLOW_DTYPE))
+
+    @classmethod
+    def from_records(cls, flows: Iterable[FlowRecord]) -> "FlowBatch":
+        """Columnarize a record list (the scalar-API conversion shim)."""
+        flows = list(flows)
+        array = np.empty(len(flows), dtype=FLOW_DTYPE)
+        for i, f in enumerate(flows):
+            array[i] = (
+                f.timestamp,
+                f.src_addr,
+                f.dst_addr,
+                f.src_port,
+                f.dst_port,
+                f.protocol,
+                f.tcp_flags,
+                f.packets,
+                f.bytes_,
+                f.sampling_rate,
+                _encode_country(f.src_country),
+                0,
+            )
+        return cls(array)
+
+    @classmethod
+    def from_buffer(cls, buffer, count: int | None = None, offset: int = 0) -> "FlowBatch":
+        """Zero-copy view of a wire record block (no count prefix).
+
+        ``buffer`` is any object exposing the buffer protocol; the returned
+        batch aliases it (read-only when the source is immutable), so the
+        caller must keep the buffer alive and unmodified while the batch is
+        in use.
+        """
+        array = np.frombuffer(buffer, dtype=FLOW_DTYPE, count=-1 if count is None else count, offset=offset)
+        return cls(array)
+
+    @staticmethod
+    def concat(batches: Sequence["FlowBatch"]) -> "FlowBatch":
+        """Concatenate batches into one (copies; empty input allowed)."""
+        arrays = [b.array for b in batches if len(b.array)]
+        if not arrays:
+            return FlowBatch.empty()
+        if len(arrays) == 1:
+            return FlowBatch(arrays[0])
+        return FlowBatch(np.concatenate(arrays))
+
+    # -- wire -----------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """The raw record block (no count prefix); byte-identical to
+        concatenating :func:`encode_flow` over :meth:`to_records`."""
+        return self.array.tobytes()
+
+    # -- record shim ------------------------------------------------------
+    def to_records(self) -> list[FlowRecord]:
+        """Materialize scalar :class:`FlowRecord` objects (plain-int fields)."""
+        return [
+            FlowRecord(
+                timestamp=ts,
+                src_addr=src,
+                dst_addr=dst,
+                src_port=sport,
+                dst_port=dport,
+                protocol=proto,
+                packets=packets,
+                bytes_=bytes_,
+                tcp_flags=flags,
+                src_country=_decode_country(country),
+                sampling_rate=rate,
+            )
+            for ts, src, dst, sport, dport, proto, flags, packets, bytes_, rate, country, _ in self.array.tolist()
+        ]
+
+    # -- column accessors (copies cast for arithmetic safety) ------------
+    def estimated_bytes(self) -> np.ndarray:
+        """Sampling-compensated byte counts as int64 (exact for the wire
+        domain; see ``TrafficMatrix.add_batch`` for the representability
+        argument)."""
+        return self.array["bytes"].astype(np.int64) * self.array["sampling_rate"].astype(np.int64)
+
+    def estimated_packets(self) -> np.ndarray:
+        """Sampling-compensated packet counts as int64."""
+        return self.array["packets"].astype(np.int64) * self.array["sampling_rate"].astype(np.int64)
+
+    # -- sequence protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __iter__(self) -> Iterator[FlowRecord]:
+        return iter(self.to_records())
+
+    def __getitem__(self, key):
+        if isinstance(key, (int, np.integer)):
+            row = self.array[int(key)]
+            return FlowRecord(
+                timestamp=int(row["timestamp"]),
+                src_addr=int(row["src_addr"]),
+                dst_addr=int(row["dst_addr"]),
+                src_port=int(row["src_port"]),
+                dst_port=int(row["dst_port"]),
+                protocol=int(row["protocol"]),
+                packets=int(row["packets"]),
+                bytes_=int(row["bytes"]),
+                tcp_flags=int(row["tcp_flags"]),
+                src_country=_decode_country(bytes(row["src_country"])),
+                sampling_rate=int(row["sampling_rate"]),
+            )
+        return FlowBatch(self.array[key])
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, FlowBatch):
+            return bool(np.array_equal(self.array, other.array))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FlowBatch(n={len(self.array)})"
+
+
+def _as_batch(flows: "FlowBatch | Sequence[FlowRecord]") -> FlowBatch:
+    """Coerce either flow representation to a :class:`FlowBatch`."""
+    if isinstance(flows, FlowBatch):
+        return flows
+    return FlowBatch.from_records(flows)
 
 
 def encode_flow(flow: FlowRecord) -> bytes:
@@ -124,7 +319,7 @@ def encode_flow(flow: FlowRecord) -> bytes:
         flow.packets,
         flow.bytes_,
         flow.sampling_rate,
-        flow.src_country.encode("ascii")[:2].ljust(2, b" "),
+        _encode_country(flow.src_country),
         0,  # reserved
     )
 
@@ -155,18 +350,27 @@ def decode_flow(blob: bytes) -> FlowRecord:
         packets=packets,
         bytes_=bytes_,
         tcp_flags=tcp_flags,
-        src_country=country.decode("ascii").strip() or "US",
+        src_country=_decode_country(country),
         sampling_rate=sampling_rate,
     )
 
 
-def encode_flows(flows: list[FlowRecord]) -> bytes:
-    """Serialize a batch: u32 count followed by fixed-size records."""
-    return struct.pack("<I", len(flows)) + b"".join(encode_flow(f) for f in flows)
+def encode_flows(flows: "FlowBatch | Sequence[FlowRecord]") -> bytes:
+    """Serialize a batch: u32 count followed by fixed-size records.
+
+    Accepts a :class:`FlowBatch` (encoded straight from its buffer) or a
+    record list (columnarized first); the bytes are identical either way.
+    """
+    batch = _as_batch(flows)
+    return struct.pack("<I", len(batch)) + batch.to_bytes()
 
 
-def decode_flows(blob: bytes) -> list[FlowRecord]:
-    """Parse a batch produced by :func:`encode_flows`."""
+def decode_flows_batch(blob: bytes) -> FlowBatch:
+    """Parse a batch produced by :func:`encode_flows` as one columnar view.
+
+    The returned batch aliases ``blob`` (zero copy, read-only); slice or
+    ``concat`` it to detach.
+    """
     if len(blob) < 4:
         raise ValueError("truncated flow batch: missing count header")
     (count,) = struct.unpack_from("<I", blob, 0)
@@ -175,8 +379,9 @@ def decode_flows(blob: bytes) -> list[FlowRecord]:
         raise ValueError(
             f"truncated flow batch: expected {expected} bytes, got {len(blob)}"
         )
-    flows = []
-    for i in range(count):
-        offset = 4 + i * FLOW_WIRE_SIZE
-        flows.append(decode_flow(blob[offset : offset + FLOW_WIRE_SIZE]))
-    return flows
+    return FlowBatch.from_buffer(blob, count=count, offset=4)
+
+
+def decode_flows(blob: bytes) -> list[FlowRecord]:
+    """Parse a batch produced by :func:`encode_flows` (record-list shim)."""
+    return decode_flows_batch(blob).to_records()

@@ -6,6 +6,18 @@ flow, producing the (noisy) sampled record an exporter would emit; the
 :class:`FlowCollector` gathers records from multiple exporters, optionally
 round-tripping them through the wire codec, and feeds a
 :class:`~repro.netflow.matrix.TrafficMatrix`.
+
+Columnar fast path
+------------------
+The collector retains decoded datagrams as
+:class:`~repro.netflow.records.FlowBatch` chunks — one structured-array
+view per datagram, never a per-record Python list — and hands them to the
+aggregation layer via :meth:`FlowCollector.drain_batch`.  The record-list
+API (``ingest``/``drain``/iteration) survives as a conversion shim.
+Sampling is vectorized the same way: :meth:`PacketSampler.sample_many`
+makes **one** batched ``rng.binomial`` draw for the whole batch, in the
+same per-flow order the scalar loop used, so seeded traces stay
+deterministic (``tests/test_columnar.py`` pins the outputs).
 """
 
 from __future__ import annotations
@@ -15,8 +27,15 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..obs import obs_enabled
 from .datagram import DatagramCodec, SequenceTracker
-from .records import FlowRecord, decode_flows, encode_flows
+from .records import (
+    FLOW_DTYPE,
+    FlowBatch,
+    FlowRecord,
+    decode_flows_batch,
+    encode_flows,
+)
 
 __all__ = ["PacketSampler", "FlowExporter", "FlowCollector", "FeedHealth"]
 
@@ -62,14 +81,68 @@ class PacketSampler:
             sampling_rate=self.rate,
         )
 
+    def _draw_kept(self, packets: np.ndarray) -> np.ndarray:
+        """One batched binomial draw for a whole flow batch.
+
+        ``Generator.binomial`` consumes the bitstream per element exactly
+        as the equivalent sequence of scalar draws would, so the kept
+        counts are identical to a per-flow loop over :meth:`sample` —
+        seeded traces stay deterministic across the two paths.
+        """
+        return self._rng.binomial(packets.astype(np.int64), 1.0 / self.rate)
+
+    @staticmethod
+    def _scaled_bytes(kept: np.ndarray, packets: np.ndarray, bytes_: np.ndarray) -> np.ndarray:
+        """Vectorized ``max(1, int(round(kept * bytes/packets)))``.
+
+        ``np.rint`` rounds half-to-even like Python's ``round``, and the
+        float64 expression is evaluated in the same order as the scalar
+        path, so the results match bit for bit.
+        """
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_packet = np.where(packets > 0, bytes_ / packets, 0.0)
+        return np.maximum(1, np.rint(kept * mean_packet).astype(np.int64))
+
     def sample_many(self, flows: Iterable[FlowRecord]) -> list[FlowRecord]:
-        """Sample a batch, dropping unseen flows."""
-        out = []
-        for flow in flows:
-            sampled = self.sample(flow)
-            if sampled is not None:
-                out.append(sampled)
-        return out
+        """Sample a batch, dropping unseen flows (one vectorized draw)."""
+        flows = list(flows)
+        if self.rate == 1:
+            return [replace(flow, sampling_rate=1) for flow in flows]
+        if not flows:
+            return []
+        packets = np.array([flow.packets for flow in flows], dtype=np.int64)
+        kept = self._draw_kept(packets)
+        bytes_ = np.array([flow.bytes_ for flow in flows], dtype=np.int64)
+        scaled = self._scaled_bytes(kept, packets, bytes_)
+        return [
+            replace(flow, packets=int(k), bytes_=int(b), sampling_rate=self.rate)
+            for flow, k, b in zip(flows, kept.tolist(), scaled.tolist())
+            if k
+        ]
+
+    def sample_batch(self, batch: FlowBatch) -> FlowBatch:
+        """Columnar :meth:`sample_many`: batch in, sampled batch out.
+
+        Consumes the RNG identically to :meth:`sample_many` on the same
+        flows (one draw per input record, in order), and keeps the same
+        records with the same counters.
+        """
+        if self.rate == 1:
+            out = batch.array.copy()
+            out["sampling_rate"] = 1
+            return FlowBatch(out)
+        if not len(batch):
+            return FlowBatch.empty()
+        packets = batch.array["packets"].astype(np.int64)
+        kept = self._draw_kept(packets)
+        seen = kept > 0
+        out = batch.array[seen].copy()
+        out["packets"] = kept[seen]
+        out["bytes"] = self._scaled_bytes(
+            kept[seen], packets[seen], batch.array["bytes"].astype(np.int64)[seen]
+        )
+        out["sampling_rate"] = self.rate
+        return FlowBatch(out)
 
 
 @dataclass
@@ -84,46 +157,63 @@ class FlowExporter:
     sampler: PacketSampler
 
     def __post_init__(self) -> None:
-        self._buffer: list[FlowRecord] = []
+        self._chunks: list[FlowBatch] = []
 
-    def observe(self, flows: Iterable[FlowRecord]) -> int:
+    def observe(self, flows: "FlowBatch | Iterable[FlowRecord]") -> int:
         """Sample ground-truth flows into the export buffer; return kept count."""
-        sampled = self.sampler.sample_many(flows)
-        self._buffer.extend(sampled)
+        if isinstance(flows, FlowBatch):
+            sampled = self.sampler.sample_batch(flows)
+        else:
+            sampled = FlowBatch.from_records(self.sampler.sample_many(flows))
+        if len(sampled):
+            self._chunks.append(sampled)
         return len(sampled)
 
     def flush(self) -> bytes:
         """Encode and clear the export buffer."""
-        datagram = encode_flows(self._buffer)
-        self._buffer = []
+        datagram = encode_flows(FlowBatch.concat(self._chunks))
+        self._chunks = []
         return datagram
 
     @property
     def pending(self) -> int:
-        return len(self._buffer)
+        return sum(len(chunk) for chunk in self._chunks)
 
 
 class FlowCollector:
     """Receives export datagrams and yields decoded records.
 
-    Keeps simple counters so tests can assert on lossless collection.
+    Retains flows as columnar :class:`FlowBatch` chunks (one per ingest
+    call) and keeps simple counters so tests can assert on lossless
+    collection.  Both entry points — headerless batches (:meth:`ingest`)
+    and v5-enveloped datagrams (:meth:`ingest_datagram`) — feed the
+    ``netflow.datagrams`` / ``netflow.records`` obs counters; only the
+    headered path additionally runs sequence-gap accounting.
     """
 
     def __init__(self) -> None:
         self.records_received = 0
         self.datagrams_received = 0
-        self._records: list[FlowRecord] = []
+        self._chunks: list[FlowBatch] = []
         self._tracker = SequenceTracker()
+
+    # -- ingest ----------------------------------------------------------
+    def ingest_batch(self, datagram: bytes) -> FlowBatch:
+        """Decode one headerless export datagram as a columnar view."""
+        batch = decode_flows_batch(datagram)
+        self.datagrams_received += 1
+        self.records_received += len(batch)
+        self._chunks.append(batch)
+        if obs_enabled():
+            self._tracker._obs_datagrams.inc()
+            self._tracker._obs_records.inc(len(batch))
+        return batch
 
     def ingest(self, datagram: bytes) -> list[FlowRecord]:
         """Decode one export datagram, retaining and returning its records."""
-        flows = decode_flows(datagram)
-        self.datagrams_received += 1
-        self.records_received += len(flows)
-        self._records.extend(flows)
-        return flows
+        return self.ingest_batch(datagram).to_records()
 
-    def ingest_datagram(self, blob: bytes) -> list[FlowRecord]:
+    def ingest_datagram_batch(self, blob: bytes) -> FlowBatch:
         """Decode one *headered* export datagram (v5-style envelope).
 
         Runs the flow-sequence gap accounting through the collector's
@@ -131,13 +221,26 @@ class FlowCollector:
         and reordering show up in :meth:`feed_health` (and, when telemetry
         is enabled, in the ``netflow.*`` obs counters).
         """
-        header, flows = DatagramCodec.decode(blob)
+        header, batch = DatagramCodec.decode_batch(blob)
         self._tracker.observe(header)
         self.datagrams_received += 1
-        self.records_received += len(flows)
-        self._records.extend(flows)
-        return flows
+        self.records_received += len(batch)
+        self._chunks.append(batch)
+        return batch
 
+    def ingest_datagram(self, blob: bytes) -> list[FlowRecord]:
+        """Record-list shim over :meth:`ingest_datagram_batch`."""
+        return self.ingest_datagram_batch(blob).to_records()
+
+    def add_flows(self, flows: "FlowBatch | Iterable[FlowRecord]") -> int:
+        """Retain already-decoded flows (bypasses the wire codec)."""
+        batch = flows if isinstance(flows, FlowBatch) else FlowBatch.from_records(flows)
+        if len(batch):
+            self._chunks.append(batch)
+        self.records_received += len(batch)
+        return len(batch)
+
+    # -- health ----------------------------------------------------------
     def feed_health(self) -> FeedHealth:
         """Gap/reorder accounting over every headered datagram ingested."""
         tracker = self._tracker
@@ -149,11 +252,17 @@ class FlowCollector:
             loss_rate=tracker.loss_rate,
         )
 
-    def drain(self) -> list[FlowRecord]:
-        """Return and clear all retained records."""
-        records, self._records = self._records, []
-        return records
+    # -- drain -----------------------------------------------------------
+    def drain_batch(self) -> FlowBatch:
+        """Return and clear all retained flows as one columnar batch."""
+        chunks, self._chunks = self._chunks, []
+        return FlowBatch.concat(chunks)
 
+    def drain(self) -> list[FlowRecord]:
+        """Return and clear all retained records (record-list shim)."""
+        return self.drain_batch().to_records()
+
+    # -- durability --------------------------------------------------------
     def state_dict(self) -> dict:
         """Canonical snapshot: counters, sequence-tracker expectations, and
         any undrained records (wire-encoded, so the snapshot is plain
@@ -162,7 +271,7 @@ class FlowCollector:
         return {
             "records_received": self.records_received,
             "datagrams_received": self.datagrams_received,
-            "pending": encode_flows(self._records),
+            "pending": encode_flows(FlowBatch.concat(self._chunks)),
             "tracker": {
                 "expected": sorted(
                     (int(engine), int(seq))
@@ -177,7 +286,8 @@ class FlowCollector:
     def load_state_dict(self, state: dict) -> None:
         self.records_received = int(state["records_received"])
         self.datagrams_received = int(state["datagrams_received"])
-        self._records = decode_flows(state["pending"])
+        pending = decode_flows_batch(state["pending"])
+        self._chunks = [pending] if len(pending) else []
         tracker_state = state["tracker"]
         tracker = SequenceTracker()
         tracker._expected = {
@@ -189,7 +299,8 @@ class FlowCollector:
         self._tracker = tracker
 
     def __iter__(self) -> Iterator[FlowRecord]:
-        return iter(self._records)
+        for chunk in self._chunks:
+            yield from chunk.to_records()
 
     def __len__(self) -> int:
-        return len(self._records)
+        return sum(len(chunk) for chunk in self._chunks)

@@ -5,10 +5,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["ServeConfig", "BACKENDS", "DEGRADATION_POLICIES"]
+__all__ = ["ServeConfig", "BACKENDS", "DEGRADATION_POLICIES", "TRANSPORTS"]
 
 BACKENDS = ("inline", "thread", "process")
 DEGRADATION_POLICIES = ("flag", "suppress")
+TRANSPORTS = ("pipe", "shm")
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,6 +54,19 @@ class ServeConfig:
         :class:`~repro.core.OnlineXatu` the engine builds.  Like
         ``batched``, this is engine policy, never checkpointed state: a
         restore may change it freely.
+    transport:
+        How the process backend moves each minute's flow payload to its
+        workers: ``shm`` (the default) stages the encoded batch in a
+        per-shard shared-memory ring and pipes only a control tuple;
+        ``pipe`` pickles the payload through the pipe.  The transports
+        are interchangeable — same alerts, same checkpoints — and hosts
+        without a usable shared-memory filesystem fall back to ``pipe``
+        automatically (with a warning).  Ignored by the inline/thread
+        backends, which pass batches by reference.
+    shm_ring_bytes:
+        Initial capacity of each shard's shared-memory ring.  Rings grow
+        automatically when a minute's payload outgrows them; this knob
+        just sets the starting footprint.
     """
 
     shards: int = 1
@@ -63,12 +77,18 @@ class ServeConfig:
     degradation_policy: str = "flag"
     batched: bool = True
     inference_dtype: str | None = None
+    transport: str = "shm"
+    shm_ring_bytes: int = 1 << 20
 
     def validate(self) -> None:
         if self.shards < 1:
             raise ValueError("shards must be >= 1")
         if self.backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.shm_ring_bytes < 1:
+            raise ValueError("shm_ring_bytes must be >= 1")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0 (0 disables)")
         if not 0.0 <= self.degraded_loss_rate <= 1.0:

@@ -53,7 +53,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.online import OnlineAlert, OnlineXatu
-from ..netflow.records import FlowRecord
+from ..netflow.records import FlowBatch, FlowRecord
 from ..netflow.sampler import FeedHealth, FlowCollector
 from ..obs import get_registry, obs_enabled, trace
 from ..signals.history import AlertRecord
@@ -105,9 +105,12 @@ class ServeEngine:
                 index,
                 self._shard_factory(index),
                 backend=self.config.backend,
+                transport=self.config.transport,
+                shm_ring_bytes=self.config.shm_ring_bytes,
             )
             for index in range(self.config.shards)
         ]
+        self._routing_cache: tuple[np.ndarray, np.ndarray] | None = None
         self._minute = -1
         self._pending: list[OnlineAlert] = []
         self._pending_cdet: list[AlertRecord] = []
@@ -149,11 +152,9 @@ class ServeEngine:
         """Receive one headered export datagram; returns its record count."""
         return len(self.collector.ingest_datagram(blob))
 
-    def ingest_flows(self, flows: Sequence[FlowRecord]) -> int:
-        """Receive already-decoded flow records (bypasses the wire codec)."""
-        self.collector.records_received += len(flows)
-        self.collector._records.extend(flows)
-        return len(flows)
+    def ingest_flows(self, flows: "FlowBatch | Sequence[FlowRecord]") -> int:
+        """Receive already-decoded flows (bypasses the wire codec)."""
+        return self.collector.add_flows(flows)
 
     def ingest_cdet_alert(self, record: AlertRecord) -> None:
         """Queue one incumbent-defense alert for broadcast to every shard
@@ -167,6 +168,43 @@ class ServeEngine:
     # ------------------------------------------------------------------
     # the minute loop
     # ------------------------------------------------------------------
+    def _routing_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted (dst address, customer id) arrays for columnar routing."""
+        if self._routing_cache is None:
+            n = len(self.customer_of)
+            addrs = np.fromiter(self.customer_of.keys(), dtype=np.int64, count=n)
+            cids = np.fromiter(self.customer_of.values(), dtype=np.int64, count=n)
+            order = np.argsort(addrs, kind="stable")
+            self._routing_cache = (addrs[order], cids[order])
+        return self._routing_cache
+
+    def _partition(self, batch: FlowBatch) -> tuple[list[FlowBatch], int]:
+        """Split one minute's batch into per-shard batches, columnar.
+
+        Routing (``customer_of`` lookup) and shard assignment
+        (``customer_id % shards``) happen as two vectorized passes; order
+        within each shard's batch is arrival order, exactly what the old
+        per-record append loop produced.
+        """
+        n = self.config.shards
+        arr = batch.array
+        if not len(arr):
+            return [FlowBatch.empty() for _ in range(n)], 0
+        addrs, cids = self._routing_arrays()
+        dst = arr["dst_addr"].astype(np.int64)
+        if len(addrs):
+            pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
+            routed = addrs[pos] == dst
+            shard_of = np.where(routed, cids[pos] % n, -1)
+        else:
+            routed = np.zeros(len(arr), dtype=bool)
+            shard_of = np.full(len(arr), -1, dtype=np.int64)
+        unrouted = int(len(arr) - np.count_nonzero(routed))
+        return (
+            [FlowBatch(arr[shard_of == index]) for index in range(n)],
+            unrouted,
+        )
+
     def tick(self, minute: int) -> list[OnlineAlert]:
         """Score one minute: drain the collector, fan out, merge alerts.
 
@@ -182,16 +220,8 @@ class ServeEngine:
         self._minutes_observed += 1
         telemetry_on = obs_enabled()
 
-        flows = self.collector.drain()
-        by_shard: list[list[FlowRecord]] = [[] for _ in self.shards]
-        unrouted = 0
-        n = self.config.shards
-        for flow in flows:
-            customer_id = self.customer_of.get(flow.dst_addr)
-            if customer_id is None:
-                unrouted += 1
-                continue
-            by_shard[customer_id % n].append(flow)
+        batch = self.collector.drain_batch()
+        by_shard, unrouted = self._partition(batch)
 
         cdet_alerts, self._pending_cdet = self._pending_cdet, []
         ends, self._pending_ends = self._pending_ends, []

@@ -16,6 +16,18 @@ join, so the engine can fan a minute out to every shard before waiting on
 any of them — that overlap is the whole point of the thread/process
 backends.  A worker that raises is marked unhealthy and stops scoring
 (the engine degrades gracefully instead of crashing the feed).
+
+Shared-memory transport
+-----------------------
+With ``transport="shm"`` the process backend stops pickling flow payloads
+through the pipe: a :class:`FlowBatch` step payload is staged in a
+per-shard :class:`~repro.serve.shm.ShmRing` and the pipe carries only the
+``("shm", name, offset, length)`` control tuple.  The child decodes the
+block as a zero-copy view and replies after the detector has consumed it,
+which is what makes the lock-free ring correct.  Hosts without a usable
+shared-memory filesystem fall back to the pipe transport with a warning;
+the transports are interchangeable — same state, same alerts, same
+checkpoints.
 """
 
 from __future__ import annotations
@@ -23,11 +35,13 @@ from __future__ import annotations
 import multiprocessing
 import queue
 import threading
+import warnings
 from typing import Callable, Sequence
 
 from ..core.online import OnlineAlert, OnlineXatu
-from ..netflow.records import FlowRecord
+from ..netflow.records import FLOW_WIRE_SIZE, FlowBatch, FlowRecord
 from ..signals.history import AlertRecord
+from .shm import ShmReader, ShmRing
 
 __all__ = ["ShardWorker", "ShardFailure"]
 
@@ -50,8 +64,19 @@ class _QueuePairConn:
         return self._recv_q.get()
 
 
+def _decode_payload(flows, reader: ShmReader):
+    """Resolve a step payload: shm control tuples become zero-copy batches."""
+    if type(flows) is tuple and flows and flows[0] == "shm":
+        _, name, offset, length = flows
+        return FlowBatch.from_buffer(
+            reader.view(name, offset, length), count=length // FLOW_WIRE_SIZE
+        )
+    return flows
+
+
 def _worker_loop(detector: OnlineXatu, conn) -> None:
     """Serve commands until ``stop``; exceptions become error replies."""
+    reader = ShmReader()
     while True:
         try:
             message = conn.recv()
@@ -59,16 +84,22 @@ def _worker_loop(detector: OnlineXatu, conn) -> None:
             return
         op = message[0]
         if op == "stop":
+            reader.close()
             conn.send(("ok", None))
             return
         try:
             if op == "step":
                 _, minute, flows, cdet_alerts, mitigation_ends = message
+                flows = _decode_payload(flows, reader)
                 for record in cdet_alerts:
                     detector.ingest_cdet_alert(record)
                 for customer_id, end_minute in mitigation_ends:
                     detector.ingest_mitigation_end(customer_id, end_minute)
                 result = detector.step(minute, flows)
+                # Release the zero-copy view before replying: the parent
+                # may rewrite (or unlink, on growth) the ring slot as soon
+                # as it sees the reply.
+                flows = None
             elif op == "state":
                 result = detector.state_dict()
             elif op == "load":
@@ -92,6 +123,8 @@ class ShardWorker:
         index: int,
         detector_factory: Callable[[], OnlineXatu],
         backend: str = "inline",
+        transport: str = "pipe",
+        shm_ring_bytes: int = 1 << 20,
     ) -> None:
         self.index = index
         self.backend = backend
@@ -100,6 +133,19 @@ class ShardWorker:
         # exclusively by the engine thread driving submit()/collect().
         self.healthy = True  # owner: engine thread
         self._pending = 0  # owner: engine thread
+        self._ring: ShmRing | None = None
+        self.transport = "pipe"
+        if backend == "process" and transport == "shm":
+            try:
+                self._ring = ShmRing(shm_ring_bytes)
+                self.transport = "shm"
+            except (OSError, ValueError) as exc:
+                warnings.warn(
+                    f"shared-memory transport unavailable ({exc}); "
+                    "shard falling back to pipe transport",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         if backend == "inline":
             self._detector = detector_factory()
             self._inline_result = None  # owner: engine thread
@@ -195,16 +241,27 @@ class ShardWorker:
     def submit_step(
         self,
         minute: int,
-        flows: Sequence[FlowRecord],
+        flows: "FlowBatch | Sequence[FlowRecord]",
         cdet_alerts: Sequence[AlertRecord] = (),
         mitigation_ends: Sequence[tuple[int, int]] = (),
     ) -> None:
-        self.submit("step", minute, list(flows), list(cdet_alerts), list(mitigation_ends))
+        if isinstance(flows, FlowBatch):
+            if self._ring is not None:
+                # Stage the batch bytes in shared memory; the pipe carries
+                # only the control tuple.  Safe to reuse the ring slot on
+                # the next submit: the child replies only after the
+                # detector fully consumed this payload.
+                payload = ("shm", *self._ring.write(flows.to_bytes()))
+            else:
+                payload = flows
+        else:
+            payload = list(flows)
+        self.submit("step", minute, payload, list(cdet_alerts), list(mitigation_ends))
 
     def step(
         self,
         minute: int,
-        flows: Sequence[FlowRecord],
+        flows: "FlowBatch | Sequence[FlowRecord]",
         cdet_alerts: Sequence[AlertRecord] = (),
         mitigation_ends: Sequence[tuple[int, int]] = (),
     ) -> list[OnlineAlert]:
@@ -236,3 +293,6 @@ class ShardWorker:
                 self._process.terminate()
         elif self.backend == "thread":
             self._thread.join(timeout=5)
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None  # owner: engine thread

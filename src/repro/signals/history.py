@@ -92,6 +92,38 @@ class PreviousAttackerStore:
                 return True
         return False
 
+    def batch_mask(
+        self,
+        customer_ids: np.ndarray,
+        addrs: np.ndarray,
+        minutes: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`is_previous_attacker` over aligned arrays.
+
+        Loops only over the (customer, minute) pairs that actually have
+        timeline entries — the all-quiet common case costs one dict check —
+        and resolves membership per pair with one sorted ``searchsorted``
+        pass, so a whole minute's flow batch classifies without a
+        per-record Python call.
+        """
+        out = np.zeros(len(addrs), dtype=bool)
+        if not self._timeline:
+            return out
+        for customer in np.unique(customer_ids).tolist():
+            if not self._timeline.get(int(customer)):
+                continue
+            rows = np.flatnonzero(customer_ids == customer)
+            for minute in np.unique(minutes[rows]).tolist():
+                members = self.members_at(int(customer), int(minute))
+                if not members:
+                    continue
+                sub = rows[minutes[rows] == minute]
+                table = np.fromiter(members, dtype=np.int64, count=len(members))
+                table.sort()
+                slot = np.minimum(np.searchsorted(table, addrs[sub]), len(table) - 1)
+                out[sub] = table[slot] == addrs[sub]
+        return out
+
     def state_dict(self) -> dict:
         """Canonical snapshot (customers and attacker sets sorted)."""
         return {
