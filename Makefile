@@ -6,7 +6,7 @@ PY := PYTHONPATH=src python
 .PHONY: verify test fast golden-check golden-record bench bench-full \
         bench-check bench-ingest bench-ingest-full metrics-selftest \
         telemetry serve-smoke serve-batched-smoke lint lint-baseline \
-        sanitize-test
+        sanitize-test scenarios scenarios-check scenarios-ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,6 +42,20 @@ bench-ingest:
 
 bench-ingest-full:
 	$(PY) -m repro.cli bench --suite ingest
+
+# Scenario matrix (docs/TESTING.md): every registered paper/adversarial/
+# drift scenario through all four detector lanes.  `scenarios` refreshes
+# the committed SCENARIOS.json baseline (~10 min); `scenarios-check`
+# re-runs and compares without overwriting; `scenarios-ci` is the reduced
+# deterministic subset CI gates on (~3 min).
+scenarios:
+	$(PY) -m repro.cli scenarios run
+
+scenarios-check:
+	$(PY) -m repro.cli scenarios check
+
+scenarios-ci:
+	$(PY) -m repro.cli scenarios check --ci
 
 # Telemetry (docs/OBSERVABILITY.md): exporter selftest, and a pipeline
 # run that writes a full snapshot to /tmp/repro-telemetry.json.

@@ -36,6 +36,8 @@ rotting.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from .harness import BenchReport, BenchTiming, time_callable
@@ -385,7 +387,16 @@ def run_ingest(
         if case == "serve_shards":
             # "fused" = 4 process shards over shm, "unfused" = 1 inline
             # shard — speedups() reads as the fan-out win (or, honestly,
-            # the transport cost on a single-core host).
+            # the transport cost on a single-core host).  The core count
+            # is stamped into the result so a committed number can never
+            # silently masquerade as the parallel measurement: `parallel`
+            # is only true when the host had at least one core per shard
+            # (docs/PERFORMANCE.md documents the multi-core procedure).
+            cpu_count = os.cpu_count() or 1
+            sizes["serve_shards"]["cpu_count"] = cpu_count
+            sizes["serve_shards"]["parallel"] = (
+                cpu_count >= sizes["serve_shards"]["shards"]
+            )
             for variant, fused in (("fused", True), ("unfused", False)):
                 fn, engine = _make_serve_shards(sizes, fused)
                 try:

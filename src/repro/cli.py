@@ -286,6 +286,83 @@ def cmd_golden(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_scenarios(args) -> int:
+    """Run/check the adversarial+drift scenario matrix (SCENARIOS.json)."""
+    from pathlib import Path
+
+    from .scenarios import (
+        CI_SCENARIOS,
+        DETECTOR_LANES,
+        MatrixConfig,
+        all_specs,
+        budget_failures,
+        compare_reports,
+        load_report,
+        render_report,
+        run_matrix,
+        write_report,
+    )
+
+    if args.action == "list":
+        for spec in all_specs():
+            marker = "ci" if spec.name in CI_SCENARIOS else "  "
+            mode = "attacks" if spec.expect_alerts else "attack-free"
+            print(f"{marker} {spec.name:<22} {spec.family:<12} [{mode}]")
+            print(f"     {spec.description}")
+        return 0
+
+    if args.only:
+        names = list(args.only)
+    elif args.ci:
+        names = list(CI_SCENARIOS)
+    else:
+        names = None  # the full catalogue
+    config = MatrixConfig(
+        detectors=tuple(args.detectors) if args.detectors else DETECTOR_LANES,
+        epochs=args.epochs,
+        train_seed=args.train_seed,
+        serve_shards=args.shards,
+    )
+    report = run_matrix(
+        names, config, progress=lambda message: print(f"  {message}", flush=True)
+    )
+    print(render_report(report))
+    if args.report_out:
+        # A side copy of the fresh report (e.g. as a CI artifact),
+        # independent of whether this invocation may touch the baseline.
+        import json as _json
+
+        Path(args.report_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report_out).write_text(
+            _json.dumps(report, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"fresh report saved to {args.report_out}")
+
+    if args.action == "check":
+        # Compare-only mode: never overwrite the committed baseline.  The
+        # CI subset gates only the (scenario, lane) pairs it actually ran.
+        baseline_path = Path(args.out) / "SCENARIOS.json"
+        if not baseline_path.exists():
+            print(f"\nno baseline at {baseline_path}; nothing to check against")
+            return 2
+        warnings, failures = compare_reports(report, load_report(baseline_path))
+        for message in warnings:
+            print(f"warning: {message}")
+        for message in failures:
+            print(f"REGRESSION: {message}")
+        if failures:
+            return 1
+        print(f"\ncheck against {baseline_path}: OK ({len(warnings)} warning(s))")
+        return 0
+
+    failures = budget_failures(report)
+    for message in failures:
+        print(f"BUDGET: {message}")
+    out = write_report(report, args.out)
+    print(f"\nwrote {out}")
+    return 1 if failures else 0
+
+
 def cmd_bench(args) -> int:
     """Run the fused-vs-unfused microbenchmarks and write BENCH_<tag>.json."""
     from pathlib import Path
@@ -322,6 +399,14 @@ def cmd_bench(args) -> int:
         if telemetry_path:
             _write_cli_telemetry(telemetry_path)
     print(report.render())
+    shard_sizes = report.sizes.get("serve_shards")
+    if shard_sizes is not None and not shard_sizes.get("parallel", True):
+        print(
+            f"note: serve_shards ran {shard_sizes['shards']} shards on "
+            f"{shard_sizes['cpu_count']} core(s) — its fused number is the "
+            "transport overhead, not the fan-out win; re-measure on a host "
+            "with >= shards cores (docs/PERFORMANCE.md)"
+        )
     status = 0
     if args.check:
         # Compare-only mode: never overwrite the committed baseline.
@@ -735,6 +820,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable repro.obs during the run and write the "
                        "telemetry snapshot to this JSON file")
     bench.set_defaults(func=cmd_bench)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the adversarial/drift scenario matrix or check regressions",
+        description="Scenario matrix: paper attack types, adversarial "
+        "families (carpet bombing, pulse waves, multi-vector, adaptive "
+        "prep), and benign-drift stressors, each driven through the CDet "
+        "simulators, the online Xatu detector, and the sharded serving "
+        "lane.  `run` writes the versioned SCENARIOS.json report; `check` "
+        "compares a fresh run against the committed baseline; `list` "
+        "prints the catalogue (see docs/TESTING.md).",
+    )
+    scenarios.add_argument("action", choices=["run", "check", "list"])
+    scenarios.add_argument("--only", nargs="*", default=None,
+                           help="subset of scenarios to run")
+    scenarios.add_argument("--ci", action="store_true",
+                           help="the reduced deterministic CI subset")
+    scenarios.add_argument("--detectors", nargs="*", default=None,
+                           help="detector lanes (default: all four)")
+    scenarios.add_argument("--epochs", type=int, default=3,
+                           help="training epochs for the shared artifacts")
+    scenarios.add_argument("--train-seed", type=int, default=42,
+                           help="seed of the shared training scenario")
+    scenarios.add_argument("--shards", type=int, default=2,
+                           help="shard count for the xatu_serve lane")
+    scenarios.add_argument("--out", default="benchmarks/results",
+                           help="directory holding SCENARIOS.json")
+    scenarios.add_argument("--report-out", default=None, metavar="PATH",
+                           help="also save the fresh report JSON here "
+                           "(never touches the baseline; for CI artifacts)")
+    scenarios.set_defaults(func=cmd_scenarios)
 
     serve = sub.add_parser(
         "serve",

@@ -1,0 +1,530 @@
+"""The scenario-matrix runner: every scenario × every detector lane.
+
+One set of Xatu artifacts is trained once (on a mixed paper-style campaign
+scenario) and then evaluated — *without retraining* — on every registered
+scenario via the PR-4 streaming protocol.  That is deliberately the
+deployment question: a model trained on the paper's attack mix meets
+carpet bombing, pulse waves, adaptive attackers, and benign drift it never
+saw.  The incumbent CDet simulators run beside it for the earliness
+reference, and the serving engine runs as its own lane so the sharded
+path is regression-gated end to end.
+
+Per (scenario, detector) the runner reports detection rate, median delay
+from onset, median earliness versus NetScout on co-detected events, false
+alerts (absolute and per 1,000 customer-minutes), and the scrubbing
+overhead its diversions would cost (area C/A of §2.4).  The report is a
+versioned, deterministic JSON (``SCENARIOS.json``) with a
+compare-vs-baseline gate in the style of ``cli bench --check``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..scrub.center import DiversionWindow, ScrubbingCenter
+from ..synth import Trace, TraceGenerator
+from .catalog import ScenarioSpec, all_specs, get_spec
+
+__all__ = [
+    "MatrixConfig",
+    "TrainedArtifacts",
+    "train_artifacts",
+    "run_matrix",
+    "write_report",
+    "load_report",
+    "compare_reports",
+    "budget_failures",
+    "render_report",
+    "DETECTOR_LANES",
+    "REPORT_FORMAT_VERSION",
+]
+
+REPORT_FORMAT_VERSION = 1
+
+# Lane names, in evaluation order.  "xatu_serve" is the sharded serving
+# engine wrapped around the same artifacts as the "xatu" lane.
+DETECTOR_LANES = ("netscout", "fastnetmon", "xatu", "xatu_serve")
+
+_FP_DIVERSION_MINUTES = 10  # false-positive diversions last this long
+
+
+@dataclass
+class MatrixConfig:
+    """Knobs for one matrix run."""
+
+    detectors: tuple[str, ...] = DETECTOR_LANES
+    epochs: int = 3
+    train_seed: int = 42
+    # Alerts up to this many minutes before onset count as (early) hits on
+    # the event — the detect-prior-to-attack behaviour the survival
+    # formulation rewards.
+    early_margin: int = 30
+    # Alerts up to this many minutes after the attack end still attribute
+    # to the event (mirrors the offline CDet matcher).
+    late_margin: int = 5
+    serve_shards: int = 2
+
+    def __post_init__(self) -> None:
+        unknown = [d for d in self.detectors if d not in DETECTOR_LANES]
+        if unknown:
+            raise ValueError(
+                f"unknown detector lane(s) {unknown}; choose from {DETECTOR_LANES}"
+            )
+
+
+@dataclass
+class TrainedArtifacts:
+    """The shared Xatu artifacts every scenario is evaluated with."""
+
+    model_config: object
+    model_state: dict
+    scaler: object
+    threshold: float
+    train_seed: int
+    epochs: int
+
+    def make_online(self, trace: Trace, customer_of: dict[int, int]):
+        """A fresh OnlineXatu over this scenario's world metadata."""
+        from ..core import OnlineXatu, XatuModel
+
+        model = XatuModel(self.model_config)
+        model.load_state_dict(self.model_state)
+        model.eval()
+        world = trace.world
+        blocklist: set[int] = set()
+        for botnet in world.botnets:
+            blocklist.update(int(a) for a in botnet.blocklisted_members)
+        return OnlineXatu(
+            model=model,
+            scaler=self.scaler,
+            threshold=self.threshold,
+            customer_of=customer_of,
+            blocklist=blocklist,
+            route_table=world.route_table,
+            base_rate_of={c.customer_id: c.base_rate_bytes for c in world.customers},
+        )
+
+
+def _train_scenario(seed: int):
+    """The mixed paper-style campaign scenario the artifacts train on."""
+    from ..synth import ScenarioConfig
+
+    return ScenarioConfig(
+        total_days=12,
+        minutes_per_day=120,
+        prep_days=1.5,
+        n_customers=6,
+        n_botnets=3,
+        botnet_size=80,
+        campaigns_per_botnet=2,
+        seed=seed,
+    )
+
+
+def train_artifacts(epochs: int = 2, seed: int = 42) -> TrainedArtifacts:
+    """Train the shared model/scaler/threshold once for the whole matrix."""
+    from ..core import TrainConfig, XatuModelRegistry, alerts_to_records
+    from ..detect import NetScoutDetector
+    from ..eval.presets import bench_model_config
+    from ..signals import FeatureExtractor
+
+    trace = TraceGenerator(_train_scenario(seed)).generate()
+    cdet_alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
+    extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, cdet_alerts))
+    registry = XatuModelRegistry(
+        bench_model_config(),
+        TrainConfig(epochs=epochs, batch_size=8, learning_rate=3e-3),
+    )
+    split = int(trace.horizon * 0.7)
+    registry.train(trace, extractor, cdet_alerts, (0, split), (split, trace.horizon))
+    entry = registry.entry_for(None)
+    return TrainedArtifacts(
+        model_config=entry.model.config,
+        model_state=entry.model.state_dict(),
+        scaler=entry.scaler,
+        threshold=entry.threshold,
+        train_seed=seed,
+        epochs=epochs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Lane drivers: every lane reduces to a sorted [(customer_id, minute)].
+# ----------------------------------------------------------------------
+
+def _lane_alerts(
+    lane: str, trace: Trace, artifacts: TrainedArtifacts, config: MatrixConfig
+) -> list[tuple[int, int]]:
+    from ..detect import FastNetMonDetector, NetScoutDetector
+    from ..eval.streaming import stream_trace
+
+    addr_to_cid = {c.address: c.customer_id for c in trace.world.customers}
+    if lane == "netscout":
+        detector = NetScoutDetector(
+            profile_window=trace.config.minutes_per_day, customer_of=addr_to_cid
+        )
+    elif lane == "fastnetmon":
+        detector = FastNetMonDetector(customer_of=addr_to_cid)
+    elif lane == "xatu":
+        detector = artifacts.make_online(trace, addr_to_cid)
+    elif lane == "xatu_serve":
+        return _serve_lane_alerts(trace, artifacts, config)
+    else:  # pragma: no cover - guarded by MatrixConfig
+        raise ValueError(f"unknown lane {lane!r}")
+    alerts = stream_trace(detector, trace)
+    return sorted((int(a.customer_id), int(a.minute)) for a in alerts)
+
+
+def _serve_lane_alerts(
+    trace: Trace, artifacts: TrainedArtifacts, config: MatrixConfig
+) -> list[tuple[int, int]]:
+    """Drive the sharded serving engine over the replayed trace."""
+    from ..serve import ServeConfig, ServeEngine
+    from ..synth import TraceReplayer
+
+    addr_to_cid = {c.address: c.customer_id for c in trace.world.customers}
+
+    def factory(partition: dict[int, int]):
+        return artifacts.make_online(trace, partition)
+
+    engine = ServeEngine(
+        factory,
+        addr_to_cid,
+        ServeConfig(shards=config.serve_shards, backend="inline"),
+    )
+    merged: list[tuple[int, int]] = []
+    try:
+        for minute, flows in TraceReplayer(trace, seed=0).replay(0, trace.horizon):
+            engine.ingest_flows(flows)
+            engine.tick(minute)
+            merged.extend(
+                (int(a.customer_id), int(a.minute)) for a in engine.poll_alerts()
+            )
+    finally:
+        engine.close()
+    return sorted(merged)
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+
+def _match_event(trace: Trace, customer_id: int, minute: int, config: MatrixConfig):
+    """The event an alert attributes to (latest-onset active event)."""
+    best = None
+    for event in trace.events:
+        if event.customer_id != customer_id:
+            continue
+        if event.onset - config.early_margin <= minute < event.end + config.late_margin:
+            if best is None or event.onset > best.onset:
+                best = event
+    return best
+
+
+def _prep_intervals(trace: Trace) -> dict[int, list[tuple[int, int]]]:
+    """Real (non-aborted) preparation windows per customer."""
+    intervals: dict[int, list[tuple[int, int]]] = {}
+    for prep in trace.preps:
+        if prep.aborted or prep.end <= prep.start:
+            continue
+        intervals.setdefault(prep.customer_id, []).append((prep.start, prep.end))
+    return intervals
+
+
+def _evaluate_lane(
+    trace: Trace,
+    alerts: list[tuple[int, int]],
+    config: MatrixConfig,
+) -> tuple[dict, dict[int, int]]:
+    """Metrics for one lane; returns (metrics, first-detection minutes)."""
+    first_detection: dict[int, int] = {}
+    false_alerts = 0
+    prep_alerts = 0
+    windows: list[DiversionWindow] = []
+    diverted_until: dict[int, int] = {}
+    preps_of = _prep_intervals(trace)
+
+    for customer_id, minute in alerts:
+        event = _match_event(trace, customer_id, minute, config)
+        if event is not None:
+            first_detection.setdefault(event.event_id, minute)
+        # Diversion accounting: an alert inside an active diversion extends
+        # nothing (the customer is already being scrubbed) and is the same
+        # incident, so it is not re-counted.
+        if minute <= diverted_until.get(customer_id, -1):
+            continue
+        if event is not None:
+            end = max(event.end, minute + 1)
+        else:
+            # Unmatched alerts split by cause: firing inside a real
+            # preparation window means the detector reacted to genuine
+            # attacker probing ahead of the margin (an early diversion,
+            # charged to scrub overhead); anything else — benign traffic,
+            # aborted preps — is a false alarm.
+            if any(
+                start <= minute < stop
+                for start, stop in preps_of.get(customer_id, ())
+            ):
+                prep_alerts += 1
+            else:
+                false_alerts += 1
+            end = minute + _FP_DIVERSION_MINUTES
+        end = min(end, trace.horizon)
+        windows.append(DiversionWindow(customer_id, minute, end))
+        diverted_until[customer_id] = end - 1
+
+    n_events = len(trace.events)
+    delays = [
+        first_detection[e.event_id] - e.onset
+        for e in trace.events
+        if e.event_id in first_detection
+    ]
+    customer_minutes = max(1, len(trace.world.customers) * trace.horizon)
+
+    scrub_overhead = None
+    if windows and n_events:
+        report = ScrubbingCenter(trace).account(windows)
+        values = report.overhead_values()
+        if len(values):
+            scrub_overhead = round(float(np.median(values)), 6)
+
+    metrics = {
+        "alerts": len(alerts),
+        "events": n_events,
+        "detected": len(first_detection),
+        "detection_rate": (
+            round(len(first_detection) / n_events, 4) if n_events else None
+        ),
+        "median_delay_minutes": (
+            round(float(np.median(delays)), 2) if delays else None
+        ),
+        "false_alerts": false_alerts,
+        "false_alerts_per_kcm": round(false_alerts / customer_minutes * 1000, 4),
+        "prep_alerts": prep_alerts,
+        "scrub_overhead": scrub_overhead,
+    }
+    return metrics, first_detection
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def run_matrix(
+    scenario_names: list[str] | None = None,
+    config: MatrixConfig | None = None,
+    artifacts: TrainedArtifacts | None = None,
+    progress=None,
+) -> dict:
+    """Run the matrix and return the report dict (``SCENARIOS.json``)."""
+    config = config or MatrixConfig()
+    specs = (
+        [get_spec(name) for name in scenario_names]
+        if scenario_names is not None
+        else list(all_specs())
+    )
+    say = progress or (lambda _msg: None)
+    needs_model = any(lane in ("xatu", "xatu_serve") for lane in config.detectors)
+    if artifacts is None and needs_model:
+        say(f"training shared artifacts (seed {config.train_seed}, "
+            f"{config.epochs} epochs)")
+        artifacts = train_artifacts(epochs=config.epochs, seed=config.train_seed)
+
+    scenarios: dict[str, dict] = {}
+    for spec in specs:
+        say(f"scenario {spec.name}: generating trace")
+        trace = TraceGenerator(spec.config).generate()
+        lane_alerts: dict[str, list[tuple[int, int]]] = {}
+        results: dict[str, dict] = {}
+        first_by_lane: dict[str, dict[int, int]] = {}
+        for lane in config.detectors:
+            say(f"scenario {spec.name}: lane {lane}")
+            lane_alerts[lane] = _lane_alerts(lane, trace, artifacts, config)
+            results[lane], first_by_lane[lane] = _evaluate_lane(
+                trace, lane_alerts[lane], config
+            )
+        # Earliness vs the NetScout reference, on co-detected events.
+        reference = first_by_lane.get("netscout", {})
+        for lane in config.detectors:
+            shared = [
+                reference[eid] - first_by_lane[lane][eid]
+                for eid in first_by_lane[lane]
+                if eid in reference
+            ]
+            results[lane]["earliness_vs_netscout_minutes"] = (
+                round(float(np.median(shared)), 2) if shared else None
+            )
+            results[lane]["codetected_with_netscout"] = len(shared)
+        scenarios[spec.name] = {
+            "family": spec.family,
+            "description": spec.description,
+            "expect_alerts": spec.expect_alerts,
+            "fp_budget": dict(spec.fp_budget),
+            "config": _config_dict(spec.config),
+            "results": {lane: results[lane] for lane in sorted(results)},
+        }
+
+    train_info = (
+        {"seed": artifacts.train_seed, "epochs": artifacts.epochs}
+        if artifacts is not None
+        else None  # CDet-only run: no model was trained
+    )
+    return {
+        "format_version": REPORT_FORMAT_VERSION,
+        "train": train_info,
+        "matrix": {
+            "detectors": sorted(config.detectors),
+            "early_margin": config.early_margin,
+            "late_margin": config.late_margin,
+            "serve_shards": config.serve_shards,
+        },
+        "scenarios": dict(sorted(scenarios.items())),
+    }
+
+
+def _config_dict(config) -> dict:
+    data = dataclasses.asdict(config)
+    # JSON has no tuples; normalize for stable round-trips.
+    if data.get("sampling_rates") is not None:
+        data["sampling_rates"] = list(data["sampling_rates"])
+    return data
+
+
+# ----------------------------------------------------------------------
+# Report I/O + gates
+# ----------------------------------------------------------------------
+
+def write_report(report: dict, out_dir: str | Path) -> Path:
+    """Write ``SCENARIOS.json`` (deterministic: sorted keys, no host/time)."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "SCENARIOS.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    report = json.loads(Path(path).read_text())
+    version = report.get("format_version")
+    if version != REPORT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported SCENARIOS.json format {version!r} "
+            f"(expected {REPORT_FORMAT_VERSION})"
+        )
+    return report
+
+
+def budget_failures(report: dict) -> list[str]:
+    """Violations of the per-scenario false-alert budgets."""
+    failures: list[str] = []
+    for name, scenario in report["scenarios"].items():
+        budget = scenario.get("fp_budget") or {}
+        for lane, limit in budget.items():
+            result = scenario["results"].get(lane)
+            if result is None:
+                continue
+            if result["false_alerts"] > limit:
+                failures.append(
+                    f"{name}/{lane}: {result['false_alerts']} false alerts "
+                    f"exceed the budget of {limit}"
+                )
+    return failures
+
+
+def compare_reports(
+    current: dict,
+    baseline: dict,
+    detection_rate_tolerance: float = 0.15,
+    delay_tolerance: float = 5.0,
+    fpr_tolerance: float = 1.0,
+) -> tuple[list[str], list[str]]:
+    """Compare a fresh report against the committed baseline.
+
+    Only (scenario, detector) pairs present in *both* reports are gated, so
+    the CI subset can be checked against the full committed baseline.
+    Returns ``(warnings, failures)``; failures should fail the build.
+    """
+    warnings: list[str] = []
+    failures: list[str] = []
+    for name, scenario in current["scenarios"].items():
+        base_scenario = baseline["scenarios"].get(name)
+        if base_scenario is None:
+            warnings.append(f"{name}: not in baseline (new scenario)")
+            continue
+        for lane, result in scenario["results"].items():
+            base = base_scenario["results"].get(lane)
+            if base is None:
+                warnings.append(f"{name}/{lane}: not in baseline (new lane)")
+                continue
+            cur_rate, base_rate = result["detection_rate"], base["detection_rate"]
+            if cur_rate is not None and base_rate is not None:
+                if cur_rate < base_rate - detection_rate_tolerance:
+                    failures.append(
+                        f"{name}/{lane}: detection rate {cur_rate:.2f} "
+                        f"fell below baseline {base_rate:.2f}"
+                    )
+                elif cur_rate < base_rate:
+                    warnings.append(
+                        f"{name}/{lane}: detection rate {cur_rate:.2f} "
+                        f"< baseline {base_rate:.2f} (within tolerance)"
+                    )
+            cur_delay = result["median_delay_minutes"]
+            base_delay = base["median_delay_minutes"]
+            if cur_delay is not None and base_delay is not None:
+                if cur_delay > base_delay + delay_tolerance:
+                    failures.append(
+                        f"{name}/{lane}: median delay {cur_delay:.1f} min "
+                        f"regressed past baseline {base_delay:.1f}"
+                    )
+                elif cur_delay > base_delay:
+                    warnings.append(
+                        f"{name}/{lane}: median delay {cur_delay:.1f} min "
+                        f"> baseline {base_delay:.1f} (within tolerance)"
+                    )
+            cur_fpr = result["false_alerts_per_kcm"]
+            base_fpr = base["false_alerts_per_kcm"]
+            if cur_fpr > base_fpr + fpr_tolerance:
+                failures.append(
+                    f"{name}/{lane}: false-alert rate {cur_fpr:.2f}/kcm "
+                    f"regressed past baseline {base_fpr:.2f}"
+                )
+            elif cur_fpr > base_fpr:
+                warnings.append(
+                    f"{name}/{lane}: false-alert rate {cur_fpr:.2f}/kcm "
+                    f"> baseline {base_fpr:.2f} (within tolerance)"
+                )
+    failures.extend(budget_failures(current))
+    return warnings, failures
+
+
+def render_report(report: dict) -> str:
+    """Human-readable table of the matrix results."""
+    lines: list[str] = []
+    header = (
+        f"{'scenario':<22} {'lane':<10} {'det':>5} {'rate':>6} "
+        f"{'delay':>7} {'early':>7} {'fp':>4} {'prep':>5} {'scrub':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name, scenario in report["scenarios"].items():
+        for lane, result in scenario["results"].items():
+            rate = result["detection_rate"]
+            delay = result["median_delay_minutes"]
+            early = result["earliness_vs_netscout_minutes"]
+            scrub = result["scrub_overhead"]
+            lines.append(
+                f"{name:<22} {lane:<10} "
+                f"{result['detected']:>2}/{result['events']:<2} "
+                f"{rate if rate is not None else '-':>6} "
+                f"{delay if delay is not None else '-':>7} "
+                f"{early if early is not None else '-':>7} "
+                f"{result['false_alerts']:>4} "
+                f"{result.get('prep_alerts', 0):>5} "
+                f"{scrub if scrub is not None else '-':>7}"
+            )
+    return "\n".join(lines)

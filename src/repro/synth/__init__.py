@@ -9,7 +9,16 @@ from .attacks import (
     signature_for,
 )
 from .benign import BenignConfig, BenignTrafficModel
-from .campaign import Campaign, CampaignConfig, PlannedAttack, PlannedPrep, schedule_campaigns
+from .campaign import (
+    Campaign,
+    CampaignConfig,
+    PlannedAttack,
+    PlannedPrep,
+    plan_carpet_bombing,
+    plan_multi_vector,
+    plan_pulse_wave,
+    schedule_campaigns,
+)
 from .configio import (
     load_scenario_file,
     save_scenario_file,
@@ -18,7 +27,14 @@ from .configio import (
 )
 from .io import load_trace, save_trace, world_checksum
 from .replay import TraceReplayer
-from .scenario import AttackEvent, ScenarioConfig, Trace, TraceGenerator
+from .scenario import (
+    ATTACK_FAMILIES,
+    BENIGN_DRIFTS,
+    AttackEvent,
+    ScenarioConfig,
+    Trace,
+    TraceGenerator,
+)
 from .world import Botnet, Customer, IspWorld, WorldConfig
 
 __all__ = [
@@ -26,7 +42,9 @@ __all__ = [
     "signature_for", "generate_attack_flows",
     "BenignConfig", "BenignTrafficModel",
     "Campaign", "CampaignConfig", "PlannedAttack", "PlannedPrep", "schedule_campaigns",
+    "plan_carpet_bombing", "plan_pulse_wave", "plan_multi_vector",
     "ScenarioConfig", "AttackEvent", "Trace", "TraceGenerator",
+    "ATTACK_FAMILIES", "BENIGN_DRIFTS",
     "Customer", "Botnet", "IspWorld", "WorldConfig",
     "save_trace", "load_trace", "world_checksum",
     "scenario_to_json", "scenario_from_json",

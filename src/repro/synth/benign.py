@@ -30,6 +30,15 @@ class BenignConfig:
     burst_multiplier: float = 6.0
     burst_duration: int = 4  # minutes
     noise_sigma: float = 0.15
+    # Concept drift (scenario matrix): from ``drift_minute`` on, the benign
+    # distribution changes shape.  "flash_crowd" multiplies the burst
+    # frequency by ``drift_scale`` × 10 (a viral-event regime of frequent
+    # legitimate surges); "diurnal_shift" moves the diurnal peak half a day
+    # and raises the baseline by ``drift_scale``.  Neither is an attack —
+    # detectors must ride the drift out without alerting.
+    drift_kind: str | None = None  # None | "flash_crowd" | "diurnal_shift"
+    drift_minute: int | None = None
+    drift_scale: float = 1.5
 
 
 # (protocol, src_port, dst_port, tcp_flags, weight) — a web-dominated mix.
@@ -70,18 +79,32 @@ class BenignTrafficModel:
         ``minutes_per_day``); multiplicative lognormal noise keeps the series
         from being trivially thresholdable.
         """
-        day_frac = (minute % self.config.minutes_per_day) / self.config.minutes_per_day
-        diurnal = 1.0 + customer.diurnal_amplitude * math.sin(2 * math.pi * (day_frac - 0.25))
-        noise = float(self._rng.lognormal(mean=0.0, sigma=self.config.noise_sigma))
+        cfg = self.config
+        drifted = (
+            cfg.drift_kind is not None
+            and cfg.drift_minute is not None
+            and minute >= cfg.drift_minute
+        )
+        phase = 0.25
+        if drifted and cfg.drift_kind == "diurnal_shift":
+            phase = 0.75  # the peak moves half a day
+        day_frac = (minute % cfg.minutes_per_day) / cfg.minutes_per_day
+        diurnal = 1.0 + customer.diurnal_amplitude * math.sin(2 * math.pi * (day_frac - phase))
+        noise = float(self._rng.lognormal(mean=0.0, sigma=cfg.noise_sigma))
         rate = customer.base_rate_bytes * diurnal * noise
+        if drifted and cfg.drift_kind == "diurnal_shift":
+            rate *= cfg.drift_scale
 
         # Benign flash crowds.
+        burst_probability = cfg.burst_probability
+        if drifted and cfg.drift_kind == "flash_crowd":
+            burst_probability *= 10.0 * cfg.drift_scale
         until = self._burst_until.get(customer.customer_id, -1)
         if minute <= until:
-            rate *= self.config.burst_multiplier
-        elif self._rng.random() < self.config.burst_probability:
-            self._burst_until[customer.customer_id] = minute + self.config.burst_duration
-            rate *= self.config.burst_multiplier
+            rate *= cfg.burst_multiplier
+        elif self._rng.random() < burst_probability:
+            self._burst_until[customer.customer_id] = minute + cfg.burst_duration
+            rate *= cfg.burst_multiplier
         return rate
 
     def flows_at(self, customer: Customer, minute: int) -> list[FlowRecord]:

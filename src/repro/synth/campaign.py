@@ -32,6 +32,9 @@ __all__ = [
     "CampaignConfig",
     "Campaign",
     "schedule_campaigns",
+    "plan_carpet_bombing",
+    "plan_pulse_wave",
+    "plan_multi_vector",
 ]
 
 
@@ -54,6 +57,14 @@ class PlannedAttack:
     ramp_rate: float  # dR: max |d log2(rate) / dt| per minute (Appendix G)
     n_sources: int
     spoofed_fraction: float
+    # Pulse-wave shaping: when ``pulse_period`` > 0 the flood cycles through
+    # on/off phases (``pulse_duty`` fraction of each period is "on"), which
+    # defeats sustain/release logic in threshold detectors.
+    pulse_period: int = 0
+    pulse_duty: float = 1.0
+    # Multi-vector composition: ``(offset_minutes, type)`` switch points,
+    # sorted by offset; the flood changes generator mid-attack.
+    vectors: tuple[tuple[int, AttackType], ...] = ()
 
     @property
     def duration(self) -> int:
@@ -71,11 +82,31 @@ class PlannedAttack:
         """Anomalous bytes/minute at ``minute`` (0 outside the window)."""
         if not self.onset <= minute < self.end:
             return 0.0
+        if self.pulse_period > 0:
+            phase = (minute - self.onset) % self.pulse_period
+            if phase >= self.pulse_duty * self.pulse_period:
+                return 0.0
         if self.ramp_rate <= 0:
             return self.peak_bytes
         start = self.peak_bytes / 16.0
         rate = start * 2.0 ** (self.ramp_rate * (minute - self.onset))
         return float(min(rate, self.peak_bytes))
+
+    def type_at(self, minute: int) -> AttackType:
+        """The active vector at ``minute`` (multi-vector attacks switch)."""
+        current = self.attack_type
+        for offset, vector_type in self.vectors:
+            if minute - self.onset >= offset:
+                current = vector_type
+        return current
+
+    def vector_types(self) -> tuple[AttackType, ...]:
+        """All distinct vectors this attack runs, in first-use order."""
+        seen: list[AttackType] = [self.attack_type]
+        for _offset, vector_type in self.vectors:
+            if vector_type not in seen:
+                seen.append(vector_type)
+        return tuple(seen)
 
 
 @dataclass(frozen=True, slots=True)
@@ -110,6 +141,9 @@ class CampaignConfig:
     # with this probability.
     echo_probability: float = 0.4
     echo_delay_range: tuple[int, int] = (2, 12)  # minutes after the primary
+    # Pin every attack to one type (scenario matrix: per-type scenarios)
+    # instead of sampling the Fig 4b Markov chain.
+    fixed_type: AttackType | None = None
 
 
 _DEFAULT_SPOOF_FRACTION: dict[AttackType, float] = {
@@ -156,6 +190,8 @@ class Campaign:
     # ------------------------------------------------------------------
     def _next_type(self, current: AttackType | None) -> AttackType:
         """Sample the next attack type (Markov chain of Fig 4b)."""
+        if self.config.fixed_type is not None:
+            return self.config.fixed_type
         if current is None:
             types = list(ATTACK_TYPE_MIX)
             probs = np.array([ATTACK_TYPE_MIX[t] for t in types])
@@ -292,6 +328,182 @@ class Campaign:
                     spoofed_fraction=0.2,
                 )
             )
+
+
+def _prep_for(
+    attack: PlannedAttack, config: CampaignConfig, start_minute: int = 0
+) -> PlannedPrep:
+    """The real (non-aborted) preparation window preceding ``attack``."""
+    prep_minutes = int(config.prep_days * config.minutes_per_day)
+    return PlannedPrep(
+        campaign_id=attack.campaign_id,
+        botnet_id=attack.botnet_id,
+        customer_id=attack.customer_id,
+        start=max(start_minute, attack.onset - prep_minutes),
+        end=attack.onset,
+        aborted=False,
+        spoofed_fraction=attack.spoofed_fraction,
+    )
+
+
+def plan_carpet_bombing(
+    botnet: Botnet,
+    targets: list[Customer],
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    horizon_minutes: int,
+    campaign_id: int = 0,
+    intensity: float = 1.5,
+    rounds: int = 2,
+    duration: int = 45,
+    attack_type: AttackType = AttackType.UDP_FLOOD,
+) -> Campaign:
+    """Carpet bombing: many simultaneous low-rate floods across targets.
+
+    Every target in the group is hit at once, each at only ``intensity`` ×
+    its benign base rate — individually under a per-customer volumetric
+    threshold (DoLLM, arXiv:2405.07638), while the aggregate across the
+    prefix is a full-size flood.  The botnet splits across targets, so each
+    victim sees a modest source count at probe-like rates.
+    """
+    campaign = Campaign(campaign_id, botnet, targets, config, rng)
+    prep_minutes = int(config.prep_days * config.minutes_per_day)
+    first_onset = prep_minutes + int(rng.uniform(0, 0.5 * config.minutes_per_day))
+    spacing = max(
+        duration + 1, (horizon_minutes - first_onset) // max(1, rounds)
+    )
+    n_sources = max(5, int(config.source_participation * botnet.size / max(1, len(targets))))
+    for r in range(rounds):
+        onset = first_onset + r * spacing
+        if onset >= horizon_minutes:
+            break
+        for i, target in enumerate(targets):
+            # Slight stagger (0-2 min) mimics a rolling sweep over the prefix.
+            t_onset = min(onset + int(rng.integers(0, 3)), horizon_minutes - 1)
+            t_end = min(t_onset + duration, horizon_minutes)
+            attack = PlannedAttack(
+                campaign_id=campaign_id,
+                botnet_id=botnet.botnet_id,
+                customer_id=target.customer_id,
+                attack_type=attack_type,
+                onset=t_onset,
+                end=t_end,
+                peak_bytes=target.base_rate_bytes * intensity,
+                ramp_rate=0.0,  # flat low rate: nothing to hide
+                n_sources=n_sources,
+                spoofed_fraction=0.1,
+            )
+            campaign.attacks.append(attack)
+            campaign.preps.append(_prep_for(attack, config))
+    return campaign
+
+
+def plan_pulse_wave(
+    botnet: Botnet,
+    targets: list[Customer],
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    horizon_minutes: int,
+    campaign_id: int = 0,
+    pulse_period: int = 6,
+    pulse_duty: float = 0.5,
+    n_attacks: int = 3,
+    duration: int = 40,
+    attack_type: AttackType = AttackType.UDP_FLOOD,
+) -> Campaign:
+    """Pulse-wave floods: short full-rate bursts separated by silence.
+
+    Each burst is well above the volumetric threshold but shorter than a
+    sustain window, and the off-phase resets release logic — the classic
+    way to defeat sustain/release detectors while still saturating the
+    victim during every on-phase.
+    """
+    campaign = Campaign(campaign_id, botnet, targets, config, rng)
+    prep_minutes = int(config.prep_days * config.minutes_per_day)
+    cursor = prep_minutes + int(rng.uniform(0, config.minutes_per_day))
+    target_idx = int(rng.integers(len(targets)))
+    for _ in range(n_attacks):
+        if cursor >= horizon_minutes:
+            break
+        if rng.random() < 0.3:
+            target_idx = int(rng.integers(len(targets)))
+        target = targets[target_idx]
+        attack = PlannedAttack(
+            campaign_id=campaign_id,
+            botnet_id=botnet.botnet_id,
+            customer_id=target.customer_id,
+            attack_type=attack_type,
+            onset=cursor,
+            end=min(cursor + duration, horizon_minutes),
+            peak_bytes=target.base_rate_bytes * float(rng.uniform(8.0, 24.0)),
+            ramp_rate=0.0,  # bursts jump straight to peak
+            n_sources=max(5, int(config.source_participation * botnet.size)),
+            spoofed_fraction=0.2,
+            pulse_period=pulse_period,
+            pulse_duty=pulse_duty,
+        )
+        campaign.attacks.append(attack)
+        campaign.preps.append(_prep_for(attack, config))
+        gap_days = rng.uniform(*config.inter_attack_gap_days)
+        cursor = attack.end + int(gap_days * config.minutes_per_day)
+    return campaign
+
+
+def plan_multi_vector(
+    botnet: Botnet,
+    targets: list[Customer],
+    config: CampaignConfig,
+    rng: np.random.Generator,
+    horizon_minutes: int,
+    campaign_id: int = 0,
+    vector_chain: tuple[AttackType, ...] = (
+        AttackType.UDP_FLOOD,
+        AttackType.TCP_SYN,
+        AttackType.TCP_ACK,
+    ),
+    n_attacks: int = 3,
+    duration: int = 36,
+) -> Campaign:
+    """Multi-vector attacks: the flood switches generators mid-attack.
+
+    One anomaly window sequentially composes several vectors (e.g. UDP →
+    SYN → ACK), so any single-signature diversion covers only part of the
+    attack and type-conditioned models see a moving target.
+    """
+    if len(vector_chain) < 2:
+        raise ValueError("multi-vector attacks need at least two vectors")
+    campaign = Campaign(campaign_id, botnet, targets, config, rng)
+    prep_minutes = int(config.prep_days * config.minutes_per_day)
+    cursor = prep_minutes + int(rng.uniform(0, config.minutes_per_day))
+    target_idx = int(rng.integers(len(targets)))
+    stage = max(1, duration // len(vector_chain))
+    vectors = tuple(
+        (stage * i, vector_chain[i]) for i in range(1, len(vector_chain))
+    )
+    for _ in range(n_attacks):
+        if cursor >= horizon_minutes:
+            break
+        if rng.random() < 0.3:
+            target_idx = int(rng.integers(len(targets)))
+        target = targets[target_idx]
+        attack = PlannedAttack(
+            campaign_id=campaign_id,
+            botnet_id=botnet.botnet_id,
+            customer_id=target.customer_id,
+            attack_type=vector_chain[0],
+            onset=cursor,
+            end=min(cursor + duration, horizon_minutes),
+            peak_bytes=target.base_rate_bytes * float(rng.uniform(6.0, 30.0)),
+            ramp_rate=float(rng.uniform(*config.ramp_rate_range)),
+            n_sources=max(5, int(config.source_participation * botnet.size)),
+            spoofed_fraction=0.2,
+            vectors=vectors,
+        )
+        campaign.attacks.append(attack)
+        campaign.preps.append(_prep_for(attack, config))
+        gap_days = rng.uniform(*config.inter_attack_gap_days)
+        cursor = attack.end + int(gap_days * config.minutes_per_day)
+    return campaign
 
 
 def schedule_campaigns(

@@ -130,13 +130,10 @@ def save_trace(trace: Trace, directory: str | Path) -> Path:
                 "ramp_rate": e.ramp_rate,
                 "campaign_id": e.campaign_id,
                 "botnet_id": e.botnet_id,
-                "signature": {
-                    "dst_addr": e.signature.dst_addr,
-                    "protocol": e.signature.protocol,
-                    "src_port": e.signature.src_port,
-                    "dst_port": e.signature.dst_port,
-                    "tcp_flags": e.signature.tcp_flags,
-                },
+                "signature": dataclasses.asdict(e.signature),
+                "extra_signatures": [
+                    dataclasses.asdict(s) for s in e.extra_signatures
+                ],
             }
             for e in trace.events
         ],
@@ -217,10 +214,9 @@ def load_trace(directory: str | Path) -> Trace:
                 attack_type=AttackType(meta["attack_type"]),
                 onset=meta["onset"],
                 end=meta["end"],
-                signature=AttackSignature(
-                    dst_addr=sig["dst_addr"], protocol=sig["protocol"],
-                    src_port=sig["src_port"], dst_port=sig["dst_port"],
-                    tcp_flags=sig["tcp_flags"],
+                signature=AttackSignature(**sig),
+                extra_signatures=tuple(
+                    AttackSignature(**s) for s in meta.get("extra_signatures", [])
                 ),
                 peak_bytes=meta["peak_bytes"],
                 ramp_rate=meta["ramp_rate"],

@@ -32,10 +32,29 @@ from ..netflow.records import FlowRecord
 from ..netflow.sampler import PacketSampler
 from .attacks import AttackSignature, AttackType, generate_attack_flows, signature_for
 from .benign import BenignConfig, BenignTrafficModel
-from .campaign import Campaign, CampaignConfig, PlannedAttack, PlannedPrep, schedule_campaigns
+from .campaign import (
+    Campaign,
+    CampaignConfig,
+    PlannedAttack,
+    PlannedPrep,
+    plan_carpet_bombing,
+    plan_multi_vector,
+    plan_pulse_wave,
+    schedule_campaigns,
+)
 from .world import IspWorld, WorldConfig
 
-__all__ = ["ScenarioConfig", "AttackEvent", "Trace", "TraceGenerator"]
+ATTACK_FAMILIES = ("campaign", "carpet_bombing", "pulse_wave", "multi_vector")
+BENIGN_DRIFTS = ("flash_crowd", "diurnal_shift")
+
+__all__ = [
+    "ATTACK_FAMILIES",
+    "BENIGN_DRIFTS",
+    "ScenarioConfig",
+    "AttackEvent",
+    "Trace",
+    "TraceGenerator",
+]
 
 
 @dataclass
@@ -74,6 +93,29 @@ class ScenarioConfig:
     attacks_per_campaign: float | None = None
     target_group_size: int | None = None
     echo_probability: float | None = None
+    # ---- scenario-matrix knobs (repro.scenarios) ---------------------
+    # Attack family: the paper-style Markov campaigns, or one of the new
+    # adversarial families (each backed by a scripted planner).
+    attack_family: str = "campaign"
+    # Pin every attack to one AttackType value (per-type paper scenarios).
+    fixed_attack_type: str | None = None
+    # No campaigns at all — pure-benign traces for drift stressors.
+    attack_free: bool = False
+    # Adaptive attacker: damp A1/A2/A3 preparation signals to this level
+    # (0 = full prep as in the paper, 1 = fully silent preparation).
+    prep_damping: float = 0.0
+    # Pulse-wave shape (attack_family="pulse_wave").
+    pulse_period: int = 6
+    pulse_duty: float = 0.5
+    # Carpet bombing (attack_family="carpet_bombing"): number of
+    # simultaneous low-rate victims (None = every customer) and the
+    # per-victim peak as a multiple of its benign base rate.
+    carpet_targets: int | None = None
+    carpet_intensity: float = 1.5
+    # Benign concept drift: None | "flash_crowd" | "diurnal_shift",
+    # starting at drift_start_day (None = mid-trace).
+    benign_drift: str | None = None
+    drift_start_day: float | None = None
 
     def __post_init__(self) -> None:
         if self.total_days <= 0 or self.minutes_per_day < 1:
@@ -103,6 +145,32 @@ class ScenarioConfig:
             raise ValueError("target_group_size must be >= 1")
         if self.echo_probability is not None and not 0.0 <= self.echo_probability <= 1.0:
             raise ValueError("echo_probability must be in [0, 1]")
+        if self.attack_family not in ATTACK_FAMILIES:
+            raise ValueError(
+                f"attack_family must be one of {ATTACK_FAMILIES}, "
+                f"got {self.attack_family!r}"
+            )
+        if self.fixed_attack_type is not None:
+            AttackType(self.fixed_attack_type)  # raises on unknown values
+        if not 0.0 <= self.prep_damping <= 1.0:
+            raise ValueError("prep_damping must be in [0, 1]")
+        if self.pulse_period < 1:
+            raise ValueError("pulse_period must be >= 1 minute")
+        if not 0.0 < self.pulse_duty <= 1.0:
+            raise ValueError("pulse_duty must be in (0, 1]")
+        if self.carpet_targets is not None and self.carpet_targets < 1:
+            raise ValueError("carpet_targets must be >= 1")
+        if self.carpet_intensity <= 0:
+            raise ValueError("carpet_intensity must be positive")
+        if self.benign_drift is not None and self.benign_drift not in BENIGN_DRIFTS:
+            raise ValueError(
+                f"benign_drift must be one of {BENIGN_DRIFTS}, "
+                f"got {self.benign_drift!r}"
+            )
+        if self.drift_start_day is not None and not (
+            0 <= self.drift_start_day < self.total_days
+        ):
+            raise ValueError("drift_start_day must fall inside the horizon")
 
     @property
     def horizon_minutes(self) -> int:
@@ -137,12 +205,28 @@ class ScenarioConfig:
             config.target_group_size = self.target_group_size
         if self.echo_probability is not None:
             config.echo_probability = self.echo_probability
+        if self.fixed_attack_type is not None:
+            config.fixed_type = AttackType(self.fixed_attack_type)
         return config
+
+    @property
+    def drift_minute(self) -> int | None:
+        """First minute of benign concept drift (None = no drift)."""
+        if self.benign_drift is None:
+            return None
+        start_day = (
+            self.drift_start_day
+            if self.drift_start_day is not None
+            else self.total_days / 2
+        )
+        return int(start_day * self.minutes_per_day)
 
     def benign_config(self) -> BenignConfig:
         return BenignConfig(
             minutes_per_day=self.minutes_per_day,
             flows_per_minute=self.benign_flows_per_minute,
+            drift_kind=self.benign_drift,
+            drift_minute=self.drift_minute,
         )
 
 
@@ -170,6 +254,15 @@ class AttackEvent:
     botnet_id: int
     anomalous_bytes: np.ndarray = field(default_factory=lambda: np.zeros(0))
     attackers: set[int] = field(default_factory=set)
+    # Multi-vector attacks carry one signature per additional vector; any
+    # of them matching counts the flow as anomalous for this event.
+    extra_signatures: tuple[AttackSignature, ...] = ()
+
+    def matches_flow(self, flow: FlowRecord) -> bool:
+        """Whether a flow matches any of the event's vector signatures."""
+        if self.signature.matches(flow):
+            return True
+        return any(sig.matches(flow) for sig in self.extra_signatures)
 
     @property
     def duration(self) -> int:
@@ -220,16 +313,26 @@ class TraceGenerator:
         (e.g. a :class:`repro.signals.BlocklistDirectory`); when omitted the
         ground-truth listed-bot set is used for A1 tagging."""
         self.config = config or ScenarioConfig()
-        self._rng = np.random.default_rng(self.config.seed + 1)
+        # One root seed fans out into named, independent child streams
+        # (SeedSequence spawning), one consumer each: campaign planning,
+        # per-minute traffic draws, the benign model, packet sampling, and
+        # spoofed-address pools.  No stream is shared between generators,
+        # so the whole trace is reproducible from ``config.seed`` alone and
+        # adding draws to one consumer can never perturb another.
+        root = np.random.SeedSequence(self.config.seed)
+        plan_ss, traffic_ss, benign_ss, sampler_ss, spoof_ss = root.spawn(5)
+        self._plan_rng = np.random.default_rng(plan_ss)
+        self._rng = np.random.default_rng(traffic_ss)
+        self._spoof_rng = np.random.default_rng(spoof_ss)
         self.world = IspWorld(self.config.world_config())
         self._benign = BenignTrafficModel(
             self.world.benign_clients,
             self.world.country_of,
             self.config.benign_config(),
-            rng=np.random.default_rng(self.config.seed + 2),
+            rng=np.random.default_rng(benign_ss),
         )
         rates = self.config.sampling_rates or (self.config.sampling_rate,)
-        sampler_rng = np.random.default_rng(self.config.seed + 3)
+        sampler_rng = np.random.default_rng(sampler_ss)
         self._samplers = [PacketSampler(r, rng=sampler_rng) for r in rates]
         # Each customer's ingress POP uses one sampler (round-robin).
         self._sampler_of = {
@@ -278,7 +381,10 @@ class TraceGenerator:
         if n_spoofed:
             half = n_spoofed // 2
             spoofed = np.concatenate(
-                [self.world.bogon_pool(half or 1), self.world.unrouted_pool(n_spoofed - half or 1)]
+                [
+                    self.world.bogon_pool(half or 1, rng=self._spoof_rng),
+                    self.world.unrouted_pool(n_spoofed - half or 1, rng=self._spoof_rng),
+                ]
             )[:n_spoofed]
             for a in spoofed:
                 country_of[int(a)] = "US"
@@ -302,10 +408,19 @@ class TraceGenerator:
         span = max(1, prep.end - prep.start)
         progress = (minute - prep.start) / span  # 0 → 1 approaching onset
         botnet = self.world.botnets[prep.botnet_id]
+        damping = self.config.prep_damping
         active_fraction = 0.05 + 0.30 * progress
         n_active = max(1, int(active_fraction * botnet.size * 0.05))
-        # Probing favours blocklisted members (they are the reused, noisy bots).
-        pool = botnet.blocklisted_members if rng.random() < 0.7 else botnet.members
+        if damping > 0:
+            # Adaptive attacker: probe with proportionally fewer sources;
+            # a fully-damped minute stays silent.
+            n_active = int(round((1.0 - damping) * n_active))
+            if n_active == 0:
+                return []
+        # Probing favours blocklisted members (they are the reused, noisy
+        # bots); an adaptive attacker avoids its listed bots proportionally.
+        use_listed = rng.random() < 0.7 * (1.0 - damping)
+        pool = botnet.blocklisted_members if use_listed else botnet.members
         sources = rng.choice(pool, size=min(n_active, len(pool)), replace=False)
 
         customer = self.world.customers[prep.customer_id]
@@ -325,9 +440,10 @@ class TraceGenerator:
                     src_country=botnet.country_of.get(int(src), "US"),
                 )
             )
-        # Occasional spoofed probes.
-        if prep.spoofed_fraction > 0 and rng.random() < prep.spoofed_fraction * progress:
-            for src in self.world.bogon_pool(max(1, n_active // 4)):
+        # Occasional spoofed probes (the adaptive attacker damps these too).
+        spoof_probability = prep.spoofed_fraction * progress * (1.0 - damping)
+        if prep.spoofed_fraction > 0 and rng.random() < spoof_probability:
+            for src in self.world.bogon_pool(max(1, n_active // 4), rng=self._spoof_rng):
                 flows.append(
                     FlowRecord(
                         timestamp=minute,
@@ -345,20 +461,74 @@ class TraceGenerator:
         return flows
 
     # ------------------------------------------------------------------
+    def _plan_campaigns(self, horizon: int) -> list[Campaign]:
+        """Schedule attacks for the configured family (planning stream)."""
+        cfg = self.config
+        if cfg.attack_free:
+            return []
+        campaign_cfg = cfg.campaign_config()
+        rng = self._plan_rng
+        if cfg.attack_family == "campaign":
+            return schedule_campaigns(
+                self.world.botnets,
+                self.world.customers,
+                horizon,
+                campaign_cfg,
+                rng,
+                campaigns_per_botnet=cfg.campaigns_per_botnet,
+            )
+        if cfg.attack_family == "carpet_bombing":
+            n_targets = cfg.carpet_targets or len(self.world.customers)
+            targets = self.world.customers[: min(n_targets, len(self.world.customers))]
+            return [
+                plan_carpet_bombing(
+                    self.world.botnets[0],
+                    targets,
+                    campaign_cfg,
+                    rng,
+                    horizon,
+                    intensity=cfg.carpet_intensity,
+                    attack_type=campaign_cfg.fixed_type or AttackType.UDP_FLOOD,
+                )
+            ]
+        # Pulse-wave / multi-vector: one campaign per botnet over
+        # round-robin target groups, mirroring schedule_campaigns.
+        campaigns: list[Campaign] = []
+        customers = self.world.customers
+        size = min(campaign_cfg.target_group_size, len(customers))
+        cursor = 0
+        for b, botnet in enumerate(self.world.botnets):
+            targets = [customers[(cursor + i) % len(customers)] for i in range(size)]
+            cursor += size
+            if cfg.attack_family == "pulse_wave":
+                campaigns.append(
+                    plan_pulse_wave(
+                        botnet,
+                        targets,
+                        campaign_cfg,
+                        rng,
+                        horizon,
+                        campaign_id=b,
+                        pulse_period=cfg.pulse_period,
+                        pulse_duty=cfg.pulse_duty,
+                        attack_type=campaign_cfg.fixed_type or AttackType.UDP_FLOOD,
+                    )
+                )
+            else:  # multi_vector
+                campaigns.append(
+                    plan_multi_vector(
+                        botnet, targets, campaign_cfg, rng, horizon, campaign_id=b
+                    )
+                )
+        return campaigns
+
     def generate(self) -> Trace:
         """Run the full simulation and return the materialized trace."""
         cfg = self.config
         rng = self._rng
         horizon = cfg.horizon_minutes
 
-        campaigns = schedule_campaigns(
-            self.world.botnets,
-            self.world.customers,
-            horizon,
-            cfg.campaign_config(),
-            rng,
-            campaigns_per_botnet=cfg.campaigns_per_botnet,
-        )
+        campaigns = self._plan_campaigns(horizon)
         planned: list[PlannedAttack] = sorted(
             (a for c in campaigns for a in c.attacks), key=lambda a: a.onset
         )
@@ -367,6 +537,11 @@ class TraceGenerator:
         events: list[AttackEvent] = []
         for i, attack in enumerate(planned):
             customer = self.world.customers[attack.customer_id]
+            extra = tuple(
+                signature_for(t, customer.address)
+                for t in attack.vector_types()
+                if t is not attack.attack_type
+            )
             events.append(
                 AttackEvent(
                     event_id=i,
@@ -381,6 +556,7 @@ class TraceGenerator:
                     campaign_id=attack.campaign_id,
                     botnet_id=attack.botnet_id,
                     anomalous_bytes=np.zeros(attack.end - attack.onset),
+                    extra_signatures=extra,
                 )
             )
 
@@ -438,7 +614,7 @@ class TraceGenerator:
                 k = max(3, int(len(sources) * min(1.0, 0.3 + 0.7 * rate / attack.peak_bytes)))
                 subset = rng.choice(sources, size=min(k, len(sources)), replace=False)
                 flows = generate_attack_flows(
-                    event.attack_type,
+                    attack.type_at(minute),
                     minute,
                     event.customer_address,
                     subset,
@@ -470,7 +646,7 @@ class TraceGenerator:
                     classes.append(SOURCE_CLASS_SPOOFED)
                 # Provenance class for autoregressive A2 recomputation.
                 for event in active_events:
-                    if event.customer_id == customer_id and event.signature.matches(sampled):
+                    if event.customer_id == customer_id and event.matches_flow(sampled):
                         classes.append(f"botnet:{event.botnet_id}")
                         event.attackers.add(sampled.src_addr)
                         event.anomalous_bytes[minute - event.onset] += sampled.estimated_bytes

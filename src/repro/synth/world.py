@@ -184,19 +184,27 @@ class IspWorld:
             self.country_of[int(a)] = "US"
 
     # ------------------------------------------------------------------
-    def unrouted_pool(self, size: int) -> np.ndarray:
+    def unrouted_pool(
+        self, size: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Addresses from space never announced in the route table.
 
-        Used for the "unrouted" flavour of spoofed attack sources.
+        Used for the "unrouted" flavour of spoofed attack sources.  Pass an
+        explicit ``rng`` to keep generation-time draws off the allocation
+        stream (the trace generator uses its own named spoof stream).
         """
-        return self._UNROUTED_BASE + self._rng.choice(
+        rng = self._rng if rng is None else rng
+        return self._UNROUTED_BASE + rng.choice(
             60000, size=size, replace=False
         ).astype(np.int64)
 
-    def bogon_pool(self, size: int) -> np.ndarray:
+    def bogon_pool(
+        self, size: int, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
         """Addresses from RFC1918 space — the "obviously spoofed" flavour."""
+        rng = self._rng if rng is None else rng
         base = ip_to_int("10.0.0.0")
-        return base + self._rng.choice(2**20, size=size, replace=False).astype(np.int64)
+        return base + rng.choice(2**20, size=size, replace=False).astype(np.int64)
 
     def customer_by_address(self, address: int) -> Customer | None:
         for customer in self.customers:

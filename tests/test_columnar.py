@@ -354,6 +354,30 @@ class TestCollectorAccounting:
         assert one.drain_batch().to_records() == two.drain() == records
         assert len(one) == 0 and one.drain_batch() == FlowBatch.empty()
 
+    def test_drain_batch_on_empty_collector(self):
+        collector = FlowCollector()
+        batch = collector.drain_batch()
+        assert batch == FlowBatch.empty() and len(batch) == 0
+        # an empty drain is not an ingest event and changes no accounting
+        assert collector.datagrams_received == 0
+        assert collector.records_received == 0
+        # ...and does not wedge the collector: later ingests still flow
+        records = _random_records(np.random.default_rng(31), 3)
+        collector.ingest(encode_flows(records))
+        assert collector.drain_batch().to_records() == records
+
+    def test_drain_batch_partial_drains_never_redeliver(self):
+        records = _random_records(np.random.default_rng(41), 10)
+        collector = FlowCollector()
+        collector.ingest(encode_flows(records[:6]))
+        assert collector.drain_batch().to_records() == records[:6]
+        # flows ingested after a drain come out alone — no re-delivery of
+        # the already-drained chunk, and counters stay cumulative
+        collector.ingest(encode_flows(records[6:]))
+        assert collector.drain_batch().to_records() == records[6:]
+        assert collector.records_received == 10
+        assert len(collector) == 0 and collector.drain_batch() == FlowBatch.empty()
+
     def test_state_round_trip_preserves_pending_chunks(self):
         records = _random_records(np.random.default_rng(29), 9)
         collector = FlowCollector()

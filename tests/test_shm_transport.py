@@ -280,6 +280,30 @@ class TestEngineTransportEquivalence:
                 crash_path / name
             ).read_bytes(), name
 
+    def test_fallback_engine_stream_matches_shm(self, monkeypatch):
+        """A host without usable shm degrades, not diverges.
+
+        Every shard of a ``transport="shm"`` engine warns and falls back
+        to the pipe when the ring can't be allocated — and the merged
+        alert stream stays byte-identical to the healthy-shm engine's.
+        """
+        minutes = _minutes_of_flows(6)
+        with _engine(2, backend="process", transport="shm") as engine:
+            baseline = _drive(engine, DatagramCodec(engine_id=1), minutes)
+
+        def refuse(*args, **kwargs):
+            raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(shard_mod, "ShmRing", refuse)
+        with pytest.warns(RuntimeWarning, match="falling back to pipe"):
+            engine = _engine(2, backend="process", transport="shm")
+        try:
+            assert all(w.transport == "pipe" for w in engine.shards)
+            fallback = _drive(engine, DatagramCodec(engine_id=1), minutes)
+        finally:
+            engine.close()
+        assert fallback == baseline
+
     def test_close_releases_rings(self):
         engine = _engine(2)
         rings = [w._ring for w in engine.shards if w._ring is not None]
