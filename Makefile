@@ -4,7 +4,8 @@
 PY := PYTHONPATH=src python
 
 .PHONY: verify test fast golden-check golden-record bench bench-full \
-        bench-check bench-ingest bench-ingest-full metrics-selftest \
+        bench-check bench-ingest bench-ingest-full scale-smoke \
+        bench-scale-full metrics-selftest \
         telemetry serve-smoke serve-batched-smoke lint lint-baseline \
         sanitize-test scenarios scenarios-check scenarios-ci
 
@@ -42,6 +43,19 @@ bench-ingest:
 
 bench-ingest-full:
 	$(PY) -m repro.cli bench --suite ingest
+
+# Scale suite (docs/PERFORMANCE.md): streamed lazy-world compressed days
+# at growing customer counts, each cell in its own subprocess for a clean
+# ru_maxrss.  scale-smoke runs the 10k/100k cells at 30 minutes under a
+# hard per-cell memory bound and compares against the committed
+# BENCH_scale.json (host mismatches demote to warnings); -full runs all
+# three cells (incl. 1M) at the full compressed day and refreshes the
+# committed baseline — the 1M-within-2x-of-100k RSS gate applies to both.
+scale-smoke:
+	$(PY) -m repro.cli bench --suite scale --smoke --check --max-rss-mb 512
+
+bench-scale-full:
+	$(PY) -m repro.cli bench --suite scale
 
 # Scenario matrix (docs/TESTING.md): every registered paper/adversarial/
 # drift scenario through all four detector lanes.  `scenarios` refreshes

@@ -19,7 +19,7 @@ from repro.synth import TraceGenerator
 @pytest.fixture(scope="session")
 def bench_trace():
     """The census trace (Figures 3/4/15/16, Table 2)."""
-    return TraceGenerator(bench_scenario(seed=3)).generate()
+    return TraceGenerator(bench_scenario(seed=3)).materialize()
 
 
 def make_pipeline_config(seed: int = 3, overhead_bound: float = 0.1, epochs: int = 6):

@@ -42,7 +42,7 @@ def main() -> None:
 
     # --- CDet independence (Fig 18a) --------------------------------------
     print("\nFig 18(a): Xatu trained from different CDet label sources")
-    trace = TraceGenerator(config.scenario).generate()
+    trace = TraceGenerator(config.scenario).materialize()
     for name, cdet in (("netscout", NetScoutDetector()), ("fastnetmon", FastNetMonDetector())):
         result = XatuPipeline(config, trace=trace, cdet=cdet).run()
         print(f"  labels={name:<11} median effectiveness {result.effectiveness.median:.1%} "

@@ -36,7 +36,7 @@ def main() -> None:
     # 2. Generate once, persist.
     scenario = load_scenario_file(scenario_path)
     t0 = time.time()
-    trace = TraceGenerator(scenario).generate()
+    trace = TraceGenerator(scenario).materialize()
     print(f"generated {len(trace.events)} attacks / {trace.sampled_flows} flows "
           f"in {time.time() - t0:.1f}s")
     save_trace(trace, workdir / "trace")

@@ -25,7 +25,7 @@ from repro.synth import TraceGenerator
 
 
 def main() -> None:
-    trace = TraceGenerator(bench_scenario(seed=3)).generate()
+    trace = TraceGenerator(bench_scenario(seed=3)).materialize()
     print(f"{len(trace.events)} attacks across {trace.config.n_customers} customers\n")
 
     # --- Figure 4(a): prep-signal fractions per attack ------------------

@@ -18,6 +18,14 @@ from .harness import (
 )
 from .ingest import INGEST_BENCH_CASES, run_ingest
 from .micro import BENCH_CASES, run_all
+from .scale import (
+    SCALE_CELLS,
+    compare_scale,
+    load_scale_json,
+    run_scale,
+    scale_gate,
+    write_scale_json,
+)
 
 __all__ = [
     "BENCH_FORMAT_VERSION",
@@ -28,6 +36,12 @@ __all__ = [
     "INGEST_BENCH_CASES",
     "run_all",
     "run_ingest",
+    "SCALE_CELLS",
+    "run_scale",
+    "scale_gate",
+    "compare_scale",
+    "write_scale_json",
+    "load_scale_json",
     "time_callable",
     "write_bench_json",
     "load_bench_json",

@@ -73,7 +73,7 @@ def cmd_census(args) -> int:
     )
     from .synth import TraceGenerator
 
-    trace = TraceGenerator(_build_scenario(args)).generate()
+    trace = TraceGenerator(_build_scenario(args)).materialize()
     print(f"{len(trace.events)} attacks over {trace.horizon} minutes\n")
 
     census = prep_signal_census(trace)
@@ -121,7 +121,7 @@ def _replay_online_minutes(pipeline, minutes: int = 10) -> None:
     """
     from .core import OnlineXatu
     from .netflow import DatagramCodec, FlowCollector
-    from .synth import TraceReplayer
+    from .synth import as_trace_source
 
     model = pipeline._trained_model
     scaler = pipeline._trained_scaler
@@ -151,7 +151,8 @@ def _replay_online_minutes(pipeline, minutes: int = 10) -> None:
     start = max(0, trace.horizon - minutes)
     datagram_index = 0
     alerts = 0
-    for minute, flows in TraceReplayer(trace, seed=0).replay(start, trace.horizon):
+    for sl in as_trace_source(trace).iter_minutes(start, trace.horizon):
+        minute, flows = sl.minute, sl.records
         arrived = []
         for lo in range(0, len(flows), 30):
             blob = codec.encode(flows[lo : lo + 30], unix_secs=minute * 60)
@@ -223,7 +224,7 @@ def cmd_train(args) -> int:
 
     telemetry_path = getattr(args, "telemetry", None)
     with _telemetry_context(telemetry_path):
-        trace = TraceGenerator(_build_scenario(args)).generate()
+        trace = TraceGenerator(_build_scenario(args)).materialize()
         alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, alerts))
         registry = XatuModelRegistry(
@@ -311,8 +312,16 @@ def cmd_scenarios(args) -> int:
             print(f"     {spec.description}")
         return 0
 
+    if args.only and args.band:
+        print("pass either --only or --band, not both")
+        return 2
     if args.only:
         names = list(args.only)
+    elif args.band:
+        names = [spec.name for spec in all_specs() if spec.family == args.band]
+        if not names:
+            print(f"no scenarios in band {args.band!r}")
+            return 2
     elif args.ci:
         names = list(CI_SCENARIOS)
     else:
@@ -363,6 +372,58 @@ def cmd_scenarios(args) -> int:
     return 1 if failures else 0
 
 
+def _bench_scale(args) -> int:
+    """The scale suite: streamed compressed days at 10k/100k/1M customers."""
+    from pathlib import Path
+
+    from .bench.scale import (
+        SCALE_CELLS,
+        compare_scale,
+        load_scale_json,
+        render_scale,
+        run_scale,
+        scale_gate,
+        write_scale_json,
+    )
+
+    cells = None
+    if args.only:
+        unknown = [c for c in args.only if c not in SCALE_CELLS]
+        if unknown:
+            print(f"unknown scale cell(s): {', '.join(unknown)}; "
+                  f"choose from {', '.join(SCALE_CELLS)}")
+            return 2
+        cells = tuple(args.only)
+    payload = run_scale(cells=cells, smoke=args.smoke)
+    print(render_scale(payload))
+    max_rss = getattr(args, "max_rss_mb", None)
+    gate_failures = scale_gate(payload, max_rss_mb=max_rss)
+    for message in gate_failures:
+        print(f"GATE: {message}")
+    status = 1 if gate_failures else 0
+    baseline_path = Path(args.out) / "BENCH_scale.json"
+    if args.check:
+        if not baseline_path.exists():
+            print(f"\nno baseline at {baseline_path}; nothing to check against")
+        else:
+            warnings, failures = compare_scale(
+                payload, load_scale_json(baseline_path)
+            )
+            for message in warnings:
+                print(f"warning: {message}")
+            for message in failures:
+                print(f"REGRESSION: {message}")
+            if failures:
+                status = 1
+            elif not gate_failures:
+                print(f"\ncheck against {baseline_path}: OK "
+                      f"({len(warnings)} warning(s))")
+    else:
+        out = write_scale_json(payload, args.out)
+        print(f"\nwrote {out}")
+    return status
+
+
 def cmd_bench(args) -> int:
     """Run the fused-vs-unfused microbenchmarks and write BENCH_<tag>.json."""
     from pathlib import Path
@@ -377,6 +438,8 @@ def cmd_bench(args) -> int:
         write_bench_json,
     )
 
+    if args.suite == "scale":
+        return _bench_scale(args)
     if args.suite == "ingest":
         runner, suite_cases = run_ingest, INGEST_BENCH_CASES
         if args.tag == "fused":  # the parser default belongs to the nn suite
@@ -466,11 +529,11 @@ def cmd_serve(args) -> int:
     from .netflow import DatagramCodec
     from .serve import ServeConfig, ServeEngine
     from .signals import FeatureExtractor
-    from .synth import TraceGenerator, TraceReplayer
+    from .synth import TraceGenerator, as_trace_source
 
     telemetry_path = getattr(args, "telemetry", None)
     with _telemetry_context(telemetry_path):
-        trace = TraceGenerator(_build_scenario(args)).generate()
+        trace = TraceGenerator(_build_scenario(args)).materialize()
         cdet_alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
         if args.models:
             registry = XatuModelRegistry.load(args.models)
@@ -543,7 +606,8 @@ def cmd_serve(args) -> int:
         merged = []
         datagram_index = 0
         start_wall = time_mod.perf_counter()
-        for minute, flows in TraceReplayer(trace, seed=0).replay(0, horizon):
+        for sl in as_trace_source(trace).iter_minutes(0, horizon):
+            minute, flows = sl.minute, sl.records
             for lo in range(0, len(flows), 30):
                 blob = codec.encode(flows[lo : lo + 30], unix_secs=minute * 60)
                 datagram_index += 1
@@ -796,10 +860,16 @@ def build_parser() -> argparse.ArgumentParser:
         "fused and unfused.  Results go to a versioned BENCH_<tag>.json "
         "(see docs/PERFORMANCE.md).",
     )
-    bench.add_argument("--suite", choices=("fused", "ingest"), default="fused",
+    bench.add_argument("--suite", choices=("fused", "ingest", "scale"),
+                       default="fused",
                        help="benchmark suite: 'fused' times the nn kernels, "
                        "'ingest' times the columnar NetFlow ingest path and "
-                       "the shared-memory shard transport")
+                       "the shared-memory shard transport, 'scale' streams "
+                       "seeded compressed days at 10k/100k/1M customers and "
+                       "records peak RSS + minutes/sec (BENCH_scale.json)")
+    bench.add_argument("--max-rss-mb", type=float, default=None,
+                       help="scale suite only: fail if any cell's peak RSS "
+                       "exceeds this bound (the CI memory gate)")
     bench.add_argument("--tag", default="fused",
                        help="result file suffix: BENCH_<tag>.json "
                        "(defaults to the suite name)")
@@ -835,6 +905,10 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("action", choices=["run", "check", "list"])
     scenarios.add_argument("--only", nargs="*", default=None,
                            help="subset of scenarios to run")
+    scenarios.add_argument("--band", default=None,
+                           choices=("paper", "adversarial", "drift", "scale"),
+                           help="run every scenario of one family (e.g. "
+                           "--band scale for the large-universe cells)")
     scenarios.add_argument("--ci", action="store_true",
                            help="the reduced deterministic CI subset")
     scenarios.add_argument("--detectors", nargs="*", default=None,

@@ -99,6 +99,14 @@ class OnlineConfig:
         Traffic-matrix state older than ``lookback + margin`` is evicted
         each minute, keeping long-running detectors' memory bounded.
         Negative disables eviction.
+    watch_idle_minutes:
+        When set, a watched customer that has received no flows for this
+        many minutes is dropped from the per-minute scoring set (its
+        hazard history goes with it); the next flow re-watches it.  With
+        an analytic router over a huge address plan this is what keeps
+        the watch set proportional to *active* customers instead of the
+        universe.  ``None`` (default) keeps the historical
+        watch-forever behaviour.
     """
 
     threshold: float = 0.5
@@ -107,12 +115,15 @@ class OnlineConfig:
     rearm_after: int = 10
     start_minute: int = 0
     evict_margin_minutes: int = 120
+    watch_idle_minutes: int | None = None
 
     def validate(self) -> None:
         if not 0.0 < self.threshold < 1.0:
             raise ValueError("threshold must be in (0, 1)")
         if self.rearm_after < 0:
             raise ValueError("rearm_after must be >= 0")
+        if self.watch_idle_minutes is not None and self.watch_idle_minutes < 1:
+            raise ValueError("watch_idle_minutes must be >= 1 (or None)")
 
 
 class OnlineXatu:
@@ -125,6 +136,12 @@ class OnlineXatu:
         :class:`~repro.core.registry.XatuModelRegistry` entry).
     customer_of:
         Maps destination address → customer id for incoming flows.
+        Either a plain dict or an analytic router such as
+        :class:`~repro.serve.ContiguousCustomerRouter` (anything with
+        ``get``/``__len__``/``route_batch``).  Routers with
+        ``lazy_watch = True`` start with an *empty* watch set that grows
+        with observed traffic, so million-customer universes don't score
+        every customer every minute.
     blocklist:
         Object supporting ``addr in blocklist`` (A1 membership).
     route_table:
@@ -204,7 +221,12 @@ class OnlineXatu:
         self.model = model
         self.scaler = scaler
         self.threshold = config.threshold
-        self.customer_of = dict(customer_of or {})
+        if customer_of is None or isinstance(customer_of, dict):
+            self.customer_of = dict(customer_of or {})
+        else:
+            # Analytic router: kept by reference (it is immutable context,
+            # and materializing it as a dict would defeat its purpose).
+            self.customer_of = customer_of
         self.blocklist = set() if blocklist is None else blocklist
         self.route_table = route_table
         self.base_rate_of = base_rate_of or {}
@@ -224,7 +246,13 @@ class OnlineXatu:
         self._suppressed_until: dict[int, int] = {}
         self._pending: list[OnlineAlert] = []
         self._spoof_cache: dict[int, bool] = {}
-        self._watched: set[int] = set(self.customer_of.values())
+        if getattr(self.customer_of, "lazy_watch", False):
+            # Router-backed routing over a huge universe: watch only the
+            # customers that actually show up in traffic.
+            self._watched: set[int] = set()
+        else:
+            self._watched = set(self.customer_of.values())
+        self._last_seen: dict[int, int] = {}
         self._routing_cache: tuple | None = None
         self._blocklist_cache: tuple | None = None
 
@@ -366,19 +394,34 @@ class OnlineXatu:
         arr = batch.array
         if not len(arr):
             return 0, 0
-        addrs, cids = self._routing_arrays()
         dst = arr["dst_addr"].astype(np.int64)
-        if len(addrs):
-            pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
-            routed = addrs[pos] == dst
+        if isinstance(self.customer_of, dict):
+            addrs, cids = self._routing_arrays()
+            if len(addrs):
+                pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
+                routed = addrs[pos] == dst
+            else:
+                routed = np.zeros(len(arr), dtype=bool)
+            unrouted = int(len(arr) - np.count_nonzero(routed))
+            if unrouted == len(arr):
+                return 0, unrouted
+            cust = cids[pos[routed]]
         else:
-            routed = np.zeros(len(arr), dtype=bool)
-        unrouted = int(len(arr) - np.count_nonzero(routed))
-        if unrouted == len(arr):
-            return 0, unrouted
+            all_cids = self.customer_of.route_batch(dst)
+            routed = all_cids >= 0
+            unrouted = int(len(arr) - np.count_nonzero(routed))
+            if unrouted == len(arr):
+                return 0, unrouted
+            cust = all_cids[routed]
         arr = arr[routed]
-        cust = cids[pos[routed]]
-        self._watched.update(map(int, np.unique(cust)))
+        seen = map(int, np.unique(cust))
+        if self.config_online.watch_idle_minutes is None:
+            self._watched.update(seen)
+        else:
+            minute = self._minute
+            for customer_id in seen:
+                self._watched.add(customer_id)
+                self._last_seen[customer_id] = minute
         src = arr["src_addr"].astype(np.int64)
         self.matrix.add_batch(
             cust,
@@ -567,9 +610,27 @@ class OnlineXatu:
                         continue
                     ingested += 1
                     self._watched.add(customer_id)
+                    if self.config_online.watch_idle_minutes is not None:
+                        self._last_seen[customer_id] = minute
                     self.matrix.add_flow(
                         customer_id, flow, self._classify(customer_id, flow)
                     )
+
+            idle = self.config_online.watch_idle_minutes
+            if idle is not None:
+                # Stop scoring customers that went quiet: their survival has
+                # long recovered and keeping them watched makes every minute
+                # O(universe) instead of O(active).
+                cutoff = minute - idle
+                stale = [
+                    customer_id
+                    for customer_id, last in self._last_seen.items()
+                    if last < cutoff
+                ]
+                for customer_id in stale:
+                    self._watched.discard(customer_id)
+                    self._last_seen.pop(customer_id, None)
+                    self._hazards.pop(customer_id, None)
 
             alerts: list[OnlineAlert] = []
             evicted = 0
@@ -670,6 +731,11 @@ class OnlineXatu:
                 "state_dict() requires a set-like blocklist; custom "
                 "membership objects must be re-supplied on restore"
             )
+        if not isinstance(self.customer_of, dict):
+            raise TypeError(
+                "state_dict() requires a dict customer_of; analytic routers "
+                "are deployment context and must be re-supplied on restore"
+            )
         cfg = self.config_online
         model_cfg = self.model.config
         return {
@@ -681,6 +747,7 @@ class OnlineXatu:
                 "rearm_after": self.rearm_after,
                 "start_minute": cfg.start_minute,
                 "evict_margin_minutes": cfg.evict_margin_minutes,
+                "watch_idle_minutes": cfg.watch_idle_minutes,
             },
             "model": {
                 "meta": {
@@ -717,6 +784,7 @@ class OnlineXatu:
                 [a.customer_id, a.minute, a.survival] for a in self._pending
             ],
             "watched": sorted(self._watched),
+            "last_seen": sorted(self._last_seen.items()),
             "spoof_cache": sorted(
                 (addr, bool(spoofed)) for addr, spoofed in self._spoof_cache.items()
             ),
@@ -739,6 +807,11 @@ class OnlineXatu:
             rearm_after=int(cfg["rearm_after"]),
             start_minute=int(cfg["start_minute"]),
             evict_margin_minutes=int(cfg["evict_margin_minutes"]),
+            watch_idle_minutes=(
+                None
+                if cfg.get("watch_idle_minutes") is None
+                else int(cfg["watch_idle_minutes"])
+            ),
         )
         self.threshold = self.config_online.threshold
         self.rearm_after = self.config_online.rearm_after
@@ -767,6 +840,9 @@ class OnlineXatu:
             OnlineAlert(int(c), int(m), float(s)) for c, m, s in state["pending"]
         ]
         self._watched = set(int(c) for c in state["watched"])
+        self._last_seen = {
+            int(c): int(m) for c, m in state.get("last_seen", [])
+        }
         self._spoof_cache = {
             int(addr): bool(spoofed) for addr, spoofed in state["spoof_cache"]
         }

@@ -133,7 +133,7 @@ class XatuPipeline:
         cdet: TraceDetector | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
-        self.trace = trace or TraceGenerator(self.config.scenario).generate()
+        self.trace = trace or TraceGenerator(self.config.scenario).materialize()
         self.cdet = cdet or NetScoutDetector()
         self._rng = np.random.default_rng(self.config.seed)
         self._trained_model: XatuModel | None = None

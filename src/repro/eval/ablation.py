@@ -68,7 +68,7 @@ class AblationExperiment:
 
     def __init__(self, config: PipelineConfig, trace: Trace | None = None) -> None:
         self.config = config
-        self.trace = trace or TraceGenerator(config.scenario).generate()
+        self.trace = trace or TraceGenerator(config.scenario).materialize()
         self.train_rng, self.val_rng, self.test_rng = config.split.bounds(
             self.trace.horizon
         )

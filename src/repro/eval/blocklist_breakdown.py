@@ -64,7 +64,7 @@ def run_blocklist_breakdown(
     results: list[CategoryResult] = []
     for category in [None, *categories]:
         membership = _CategoryMembership(directory, category)
-        trace = TraceGenerator(config.scenario, blocklist_membership=membership).generate()
+        trace = TraceGenerator(config.scenario, blocklist_membership=membership).materialize()
         cfg = replace(config, enabled_groups=frozenset({"V", "A1"}))
         outcome = XatuPipeline(cfg, trace=trace).run()
         results.append(

@@ -61,7 +61,7 @@ class HeadlineExperiment:
 
     def __init__(self, config: PipelineConfig, trace: Trace | None = None) -> None:
         self.config = config
-        self.trace = trace or TraceGenerator(config.scenario).generate()
+        self.trace = trace or TraceGenerator(config.scenario).materialize()
         self._prepared = False
 
     # ------------------------------------------------------------------

@@ -38,7 +38,7 @@ def build_report(
 ) -> str:
     """Render the observational-experiment report as markdown text."""
     if trace is None:
-        trace = TraceGenerator(scenario or ScenarioConfig()).generate()
+        trace = TraceGenerator(scenario or ScenarioConfig()).materialize()
     cfg = trace.config
     sections: list[str] = [
         "# Xatu reproduction — observational report",

@@ -37,7 +37,7 @@ class RobustnessPoint:
 def _run_variants(
     config: PipelineConfig, knob: str, value: float
 ) -> list[RobustnessPoint]:
-    trace = TraceGenerator(config.scenario).generate()
+    trace = TraceGenerator(config.scenario).materialize()
     points = []
     for variant, groups in (
         ("xatu", None),

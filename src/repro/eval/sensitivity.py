@@ -39,7 +39,7 @@ class SensitivityExperiment:
 
     def __init__(self, config: PipelineConfig, trace: Trace | None = None) -> None:
         self.config = config
-        self.trace = trace or TraceGenerator(config.scenario).generate()
+        self.trace = trace or TraceGenerator(config.scenario).materialize()
 
     def _run(self, sweep: str, setting: str, config: PipelineConfig, cdet=None) -> SensitivityPoint:
         result = XatuPipeline(config, trace=self.trace, cdet=cdet).run()

@@ -1,32 +1,41 @@
-"""Drive any protocol detector over a replayed trace.
+"""Drive any protocol detector over a streamed trace.
 
 The :class:`~repro.detect.Detector` protocol makes the incumbent CDet
 simulators and Xatu's streaming mode interchangeable; this module is the
-eval-side driver that exploits that — one loop, any detector, a replayed
-:class:`~repro.synth.Trace` as the live feed.
+eval-side driver that exploits that — one loop, any detector, any
+:class:`~repro.synth.TraceSource` (a live streaming generator, a
+:class:`~repro.synth.TraceReplayer`, or a materialized
+:class:`~repro.synth.Trace`, coerced through the same protocol) as the
+live feed.
 """
 
 from __future__ import annotations
 
 from ..detect.api import Alert, Detector, drive
-from ..synth.replay import TraceReplayer
 from ..synth.scenario import Trace
+from ..synth.stream import TraceSource, as_trace_source
 
 __all__ = ["stream_trace"]
 
 
 def stream_trace(
     detector: Detector,
-    trace: Trace,
+    trace: Trace | TraceSource,
     start_minute: int = 0,
     end_minute: int | None = None,
     seed: int = 0,
 ) -> list[Alert]:
     """Stream a trace minute-by-minute through any protocol detector.
 
-    Reconstructs each minute's flows with :class:`TraceReplayer` and feeds
-    them via the protocol (``observe_minute`` / ``poll_alerts``),
-    returning every alert emitted over the range.
+    Accepts a materialized :class:`Trace` (wrapped in a replaying
+    :class:`~repro.synth.MaterializedTraceSource`, reconstructing each
+    minute's flows from the matrix) or any :class:`TraceSource` directly;
+    feeds the minutes via the protocol (``observe_minute`` /
+    ``poll_alerts``) and returns every alert emitted over the range.
     """
-    replay = TraceReplayer(trace, seed=seed).replay(start_minute, end_minute)
-    return drive(detector, replay)
+    source = as_trace_source(trace, seed=seed)
+    minutes = (
+        (sl.minute, sl.records)
+        for sl in source.iter_minutes(start_minute, end_minute)
+    )
+    return drive(detector, minutes)

@@ -18,6 +18,10 @@ per-detector false-alert budgets).  The catalogue covers three bands:
 * **drift** — benign concept drift (flash-crowd regime, diurnal shift)
   with **no attacks at all**: every alert is false, and the spec's
   ``fp_budget`` is the contract a detector must hold under drift.
+* **scale** — large lazy-world universes (``lazy_world`` +
+  ``benign_flow_budget``) streamed rather than held in memory; these
+  cells score the detectors that operate per-customer-profile without
+  pre-seeding the whole universe (``detectors`` restricts the lanes).
 
 Scenario sizes are compressed (120-minute days, single-digit customers) so
 the full matrix runs in minutes; the shapes — prep lookback relative to
@@ -45,7 +49,7 @@ class ScenarioSpec:
     """One named scenario plus its evaluation policy."""
 
     name: str
-    family: str  # paper | adversarial | drift
+    family: str  # paper | adversarial | drift | scale
     description: str
     config: ScenarioConfig
     # Drift stressors set this False: the scenario contains no attacks and
@@ -54,6 +58,10 @@ class ScenarioSpec:
     # Per-detector absolute false-alert budgets over the whole scenario.
     # A detector absent from the map is reported but not gated.
     fp_budget: dict[str, int] = field(default_factory=dict)
+    # Lane subset this scenario supports (None = every configured lane).
+    # Scale cells restrict to the detectors whose state is proportional
+    # to *observed* customers, not the universe.
+    detectors: tuple[str, ...] | None = None
 
 
 _REGISTRY: dict[str, ScenarioSpec] = {}
@@ -234,6 +242,33 @@ register(
         expect_alerts=False,
         # Measured: netscout 9, fastnetmon 12, xatu 0 (same headroom rule).
         fp_budget={"xatu": 0, "xatu_serve": 0, "netscout": 12, "fastnetmon": 16},
+    )
+)
+
+register(
+    ScenarioSpec(
+        name="scale-10k",
+        family="scale",
+        description=(
+            "A 10,000-customer lazy world with budgeted benign traffic, "
+            "streamed minute-by-minute (never materialized as per-customer "
+            "state); paper-style campaigns still hit a handful of victims. "
+            "Scores the incumbent CDet lanes, whose profiles grow with "
+            "observed customers only."
+        ),
+        config=ScenarioConfig(
+            total_days=3,
+            minutes_per_day=120,
+            prep_days=1.0,
+            n_customers=10_000,
+            n_botnets=2,
+            botnet_size=100,
+            campaigns_per_botnet=1,
+            seed=401,
+            lazy_world=True,
+            benign_flow_budget=1_200,
+        ),
+        detectors=("netscout", "fastnetmon"),
     )
 )
 

@@ -133,7 +133,7 @@ def train_artifacts(epochs: int = 2, seed: int = 42) -> TrainedArtifacts:
     from ..eval.presets import bench_model_config
     from ..signals import FeatureExtractor
 
-    trace = TraceGenerator(_train_scenario(seed)).generate()
+    trace = TraceGenerator(_train_scenario(seed)).materialize()
     cdet_alerts = [a for a in NetScoutDetector().detect(trace) if a.event_id >= 0]
     extractor = FeatureExtractor(trace, alerts=alerts_to_records(trace, cdet_alerts))
     registry = XatuModelRegistry(
@@ -183,9 +183,9 @@ def _lane_alerts(
 def _serve_lane_alerts(
     trace: Trace, artifacts: TrainedArtifacts, config: MatrixConfig
 ) -> list[tuple[int, int]]:
-    """Drive the sharded serving engine over the replayed trace."""
+    """Drive the sharded serving engine over the streamed trace."""
     from ..serve import ServeConfig, ServeEngine
-    from ..synth import TraceReplayer
+    from ..synth import as_trace_source
 
     addr_to_cid = {c.address: c.customer_id for c in trace.world.customers}
 
@@ -199,9 +199,9 @@ def _serve_lane_alerts(
     )
     merged: list[tuple[int, int]] = []
     try:
-        for minute, flows in TraceReplayer(trace, seed=0).replay(0, trace.horizon):
-            engine.ingest_flows(flows)
-            engine.tick(minute)
+        for sl in as_trace_source(trace).iter_minutes(0, trace.horizon):
+            engine.ingest_flows(sl.records)
+            engine.tick(sl.minute)
             merged.extend(
                 (int(a.customer_id), int(a.minute)) for a in engine.poll_alerts()
             )
@@ -329,7 +329,17 @@ def run_matrix(
         else list(all_specs())
     )
     say = progress or (lambda _msg: None)
-    needs_model = any(lane in ("xatu", "xatu_serve") for lane in config.detectors)
+
+    def spec_lanes(spec: ScenarioSpec) -> tuple[str, ...]:
+        if spec.detectors is None:
+            return tuple(config.detectors)
+        return tuple(l for l in config.detectors if l in spec.detectors)
+
+    # Train only if some selected (scenario, lane) pair actually needs the
+    # model — a scale-band or CDet-only run never pays for training.
+    needs_model = any(
+        lane in ("xatu", "xatu_serve") for spec in specs for lane in spec_lanes(spec)
+    )
     if artifacts is None and needs_model:
         say(f"training shared artifacts (seed {config.train_seed}, "
             f"{config.epochs} epochs)")
@@ -338,11 +348,12 @@ def run_matrix(
     scenarios: dict[str, dict] = {}
     for spec in specs:
         say(f"scenario {spec.name}: generating trace")
-        trace = TraceGenerator(spec.config).generate()
+        trace = TraceGenerator(spec.config).materialize()
+        lanes = spec_lanes(spec)
         lane_alerts: dict[str, list[tuple[int, int]]] = {}
         results: dict[str, dict] = {}
         first_by_lane: dict[str, dict[int, int]] = {}
-        for lane in config.detectors:
+        for lane in lanes:
             say(f"scenario {spec.name}: lane {lane}")
             lane_alerts[lane] = _lane_alerts(lane, trace, artifacts, config)
             results[lane], first_by_lane[lane] = _evaluate_lane(
@@ -350,7 +361,7 @@ def run_matrix(
             )
         # Earliness vs the NetScout reference, on co-detected events.
         reference = first_by_lane.get("netscout", {})
-        for lane in config.detectors:
+        for lane in lanes:
             shared = [
                 reference[eid] - first_by_lane[lane][eid]
                 for eid in first_by_lane[lane]

@@ -11,6 +11,7 @@ See docs/SERVING.md.
 
 from .config import BACKENDS, DEGRADATION_POLICIES, ServeConfig
 from .engine import ServeEngine
+from .routing import ContiguousCustomerRouter
 from .shard import ShardFailure, ShardWorker
 from .state import (
     CHECKPOINT_FORMAT_VERSION,
@@ -24,6 +25,7 @@ from .state import (
 __all__ = [
     "ServeConfig",
     "ServeEngine",
+    "ContiguousCustomerRouter",
     "ShardWorker",
     "ShardFailure",
     "BACKENDS",

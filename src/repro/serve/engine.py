@@ -82,7 +82,13 @@ class ServeEngine:
         configuration, otherwise shard-count invariance is forfeit.
     customer_of:
         The full destination-address → customer-id map; the engine routes
-        flows to shards with it.
+        flows to shards with it.  Either a plain dict or an analytic
+        router such as :class:`~repro.serve.ContiguousCustomerRouter` —
+        with a router, routing and shard partitioning are arithmetic
+        (O(batch) work, O(1) memory) and each shard's factory receives a
+        :meth:`~repro.serve.ContiguousCustomerRouter.shard_view` instead
+        of a dict slice, so million-customer universes never materialize
+        a routing table.
     config:
         A validated :class:`~repro.serve.ServeConfig`.
     """
@@ -97,7 +103,10 @@ class ServeEngine:
     ) -> None:
         self.config = config or ServeConfig()
         self.config.validate()
-        self.customer_of = dict(customer_of)
+        if isinstance(customer_of, dict):
+            self.customer_of = dict(customer_of)
+        else:
+            self.customer_of = customer_of
         self._factory = detector_factory
         self.collector = FlowCollector()
         self.shards = [
@@ -124,9 +133,12 @@ class ServeEngine:
 
     def _shard_factory(self, index: int) -> Callable[[], OnlineXatu]:
         n = self.config.shards
-        partition = {
-            addr: cid for addr, cid in self.customer_of.items() if cid % n == index
-        }
+        if isinstance(self.customer_of, dict):
+            partition = {
+                addr: cid for addr, cid in self.customer_of.items() if cid % n == index
+            }
+        else:
+            partition = self.customer_of.shard_view(index, n)
         factory = self._factory
         batched = self.config.batched
         inference_dtype = self.config.inference_dtype
@@ -190,15 +202,20 @@ class ServeEngine:
         arr = batch.array
         if not len(arr):
             return [FlowBatch.empty() for _ in range(n)], 0
-        addrs, cids = self._routing_arrays()
         dst = arr["dst_addr"].astype(np.int64)
-        if len(addrs):
-            pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
-            routed = addrs[pos] == dst
-            shard_of = np.where(routed, cids[pos] % n, -1)
+        if not isinstance(self.customer_of, dict):
+            cids = self.customer_of.route_batch(dst)
+            routed = cids >= 0
+            shard_of = np.where(routed, cids % n, -1)
         else:
-            routed = np.zeros(len(arr), dtype=bool)
-            shard_of = np.full(len(arr), -1, dtype=np.int64)
+            addrs, cids = self._routing_arrays()
+            if len(addrs):
+                pos = np.minimum(np.searchsorted(addrs, dst), len(addrs) - 1)
+                routed = addrs[pos] == dst
+                shard_of = np.where(routed, cids[pos] % n, -1)
+            else:
+                routed = np.zeros(len(arr), dtype=bool)
+                shard_of = np.full(len(arr), -1, dtype=np.int64)
         unrouted = int(len(arr) - np.count_nonzero(routed))
         return (
             [FlowBatch(arr[shard_of == index]) for index in range(n)],

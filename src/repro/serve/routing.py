@@ -1,0 +1,122 @@
+"""Analytic destination→customer routing for stride-allocated universes.
+
+The serving engine historically routed flows through an explicit
+``{dst_addr: customer_id}`` dict — O(n_customers) memory and O(n) build
+time, which caps the engine far below the lazy million-customer worlds
+:mod:`repro.synth` can now stream.  Synthetic customer addresses are
+allocated analytically (``base + customer_id * stride``), so routing can
+be arithmetic instead of a table: :class:`ContiguousCustomerRouter` maps
+any address batch to customer ids in O(batch) time and O(1) memory, and
+hands the engine per-shard *views* instead of per-shard dict partitions.
+
+The router quacks like the read side of the dict the detectors expect
+(``get`` / ``in`` / ``len``), so :class:`~repro.core.OnlineXatu` accepts
+either; it deliberately does not support iteration over all customers —
+that is exactly the O(n) behaviour the lazy path exists to avoid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ContiguousCustomerRouter"]
+
+
+class ContiguousCustomerRouter:
+    """Routes ``base + i * stride`` addresses to customer id ``i``.
+
+    ``shard_index`` / ``shards`` restrict the view to customers with
+    ``customer_id % shards == shard_index`` (the same partition rule the
+    dict-based engine uses), so one router instance describes the full
+    universe and :meth:`shard_view` derives each shard's slice for free.
+    """
+
+    __slots__ = ("base", "n_customers", "stride", "shard_index", "shards")
+
+    # OnlineXatu checks this to start with an empty watch set that grows
+    # with observed traffic instead of pre-watching every customer.
+    lazy_watch = True
+
+    def __init__(
+        self,
+        base: int,
+        n_customers: int,
+        stride: int = 256,
+        shard_index: int | None = None,
+        shards: int = 1,
+    ) -> None:
+        if n_customers < 1:
+            raise ValueError("n_customers must be >= 1")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if shard_index is not None and not 0 <= shard_index < shards:
+            raise ValueError("shard_index must be in [0, shards)")
+        self.base = int(base)
+        self.n_customers = int(n_customers)
+        self.stride = int(stride)
+        self.shard_index = shard_index
+        self.shards = int(shards)
+
+    @classmethod
+    def for_world(cls, world) -> "ContiguousCustomerRouter":
+        """The router covering an :class:`~repro.synth.IspWorld`'s customers."""
+        return cls(world._CUSTOMER_BASE, world.config.n_customers)
+
+    # ------------------------------------------------------------------
+    def _in_view(self, cid: np.ndarray) -> np.ndarray:
+        if self.shard_index is None:
+            return np.ones(len(cid), dtype=bool)
+        return cid % self.shards == self.shard_index
+
+    def route_batch(self, dst: np.ndarray) -> np.ndarray:
+        """Customer ids for an address batch (-1 = unrouted / other shard)."""
+        dst = np.asarray(dst, dtype=np.int64)
+        offset = dst - self.base
+        cid = offset // self.stride
+        valid = (
+            (offset >= 0)
+            & (cid < self.n_customers)
+            & (offset == cid * self.stride)  # exact service addresses only
+        )
+        valid &= self._in_view(cid)
+        return np.where(valid, cid, np.int64(-1))
+
+    # -- dict-shaped read API ------------------------------------------
+    def get(self, addr: int, default=None):
+        offset = int(addr) - self.base
+        cid, rem = divmod(offset, self.stride)
+        if rem != 0 or not 0 <= cid < self.n_customers:
+            return default
+        if self.shard_index is not None and cid % self.shards != self.shard_index:
+            return default
+        return cid
+
+    def __contains__(self, addr: int) -> bool:
+        return self.get(addr) is not None
+
+    def __len__(self) -> int:
+        if self.shard_index is None:
+            return self.n_customers
+        full, rem = divmod(self.n_customers, self.shards)
+        return full + (1 if self.shard_index < rem else 0)
+
+    # ------------------------------------------------------------------
+    def shard_view(self, index: int, shards: int) -> "ContiguousCustomerRouter":
+        """The partition of this router owned by shard ``index`` of ``shards``."""
+        if self.shard_index is not None:
+            raise ValueError("cannot re-shard an already-sharded router view")
+        return ContiguousCustomerRouter(
+            self.base, self.n_customers, self.stride, shard_index=index, shards=shards
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        view = (
+            "" if self.shard_index is None
+            else f", shard {self.shard_index}/{self.shards}"
+        )
+        return (
+            f"ContiguousCustomerRouter(base={self.base}, "
+            f"n={self.n_customers}, stride={self.stride}{view})"
+        )

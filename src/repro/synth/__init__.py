@@ -8,7 +8,7 @@ from .attacks import (
     generate_attack_flows,
     signature_for,
 )
-from .benign import BenignConfig, BenignTrafficModel
+from .benign import BenignConfig, BenignTrafficModel, BudgetedBenignTraffic
 from .campaign import (
     Campaign,
     CampaignConfig,
@@ -27,6 +27,12 @@ from .configio import (
 )
 from .io import load_trace, save_trace, world_checksum
 from .replay import TraceReplayer
+from .stream import (
+    MaterializedTraceSource,
+    MinuteSlice,
+    TraceSource,
+    as_trace_source,
+)
 from .scenario import (
     ATTACK_FAMILIES,
     BENIGN_DRIFTS,
@@ -40,7 +46,7 @@ from .world import Botnet, Customer, IspWorld, WorldConfig
 __all__ = [
     "AttackType", "ATTACK_TYPE_MIX", "TYPE_TRANSITIONS", "AttackSignature",
     "signature_for", "generate_attack_flows",
-    "BenignConfig", "BenignTrafficModel",
+    "BenignConfig", "BenignTrafficModel", "BudgetedBenignTraffic",
     "Campaign", "CampaignConfig", "PlannedAttack", "PlannedPrep", "schedule_campaigns",
     "plan_carpet_bombing", "plan_pulse_wave", "plan_multi_vector",
     "ScenarioConfig", "AttackEvent", "Trace", "TraceGenerator",
@@ -50,4 +56,5 @@ __all__ = [
     "scenario_to_json", "scenario_from_json",
     "save_scenario_file", "load_scenario_file",
     "TraceReplayer",
+    "TraceSource", "MinuteSlice", "MaterializedTraceSource", "as_trace_source",
 ]

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..netflow.records import FlowRecord, Protocol, TcpFlags
 from .world import Customer
 
-__all__ = ["BenignTrafficModel", "BenignConfig"]
+__all__ = ["BenignTrafficModel", "BenignConfig", "BudgetedBenignTraffic"]
 
 
 @dataclass
@@ -111,6 +112,12 @@ class BenignTrafficModel:
         """Sample the benign flows arriving at ``customer`` this minute."""
         total_bytes = self.rate_at(customer, minute)
         n_flows = max(1, int(self._rng.poisson(self.config.flows_per_minute)))
+        return self._make_flows(customer.address, minute, n_flows, total_bytes)
+
+    def _make_flows(
+        self, dst_addr: int, minute: int, n_flows: int, total_bytes: float
+    ) -> list[FlowRecord]:
+        """Split ``total_bytes`` into ``n_flows`` mix-shaped flows."""
         shares = self._rng.dirichlet(np.ones(n_flows))
         sources = self._rng.choice(self.clients, size=n_flows)
         kinds = self._rng.choice(len(_BENIGN_MIX), size=n_flows, p=self._mix_weights)
@@ -123,7 +130,7 @@ class BenignTrafficModel:
                 FlowRecord(
                     timestamp=minute,
                     src_addr=int(src),
-                    dst_addr=customer.address,
+                    dst_addr=dst_addr,
                     src_port=src_port or int(self._rng.integers(1024, 65535)),
                     dst_port=dst_port or int(self._rng.integers(1024, 65535)),
                     protocol=protocol,
@@ -134,3 +141,91 @@ class BenignTrafficModel:
                 )
             )
         return flows
+
+
+class BudgetedBenignTraffic:
+    """Constant-work benign traffic for huge universes.
+
+    The dense :class:`BenignTrafficModel` pass costs one generator call per
+    customer per minute — fatal at a million customers.  This model spends
+    a fixed per-minute *flow budget* instead: most of it on a deterministic
+    "hot" subset of customers (stride-spread over the id space so every
+    sector/sampler bucket is represented) that keeps the full diurnal /
+    burst / drift machinery, and the rest on a uniform low-rate tail over
+    the whole population so arbitrary customers still see occasional
+    background flows.  Work and memory per minute are O(budget), entirely
+    independent of ``n_customers``.
+    """
+
+    def __init__(
+        self,
+        customers: Sequence[Customer],
+        clients: np.ndarray,
+        country_of: dict[int, str],
+        config: BenignConfig | None = None,
+        rng: np.random.Generator | None = None,
+        flow_budget: int = 600,
+        hot_customers: int = 256,
+        tail_fraction: float = 0.2,
+    ) -> None:
+        if flow_budget < 1:
+            raise ValueError("flow_budget must be >= 1")
+        if not 0.0 <= tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in [0, 1]")
+        if len(customers) == 0:
+            raise ValueError("customer population is empty")
+        self._model = BenignTrafficModel(clients, country_of, config, rng=rng)
+        self._rng = self._model._rng  # one shared benign stream
+        self.customers = customers
+        self.flow_budget = flow_budget
+        self.tail_fraction = tail_fraction
+        n = len(customers)
+        hot_n = max(1, min(hot_customers, n))
+        stride = max(1, n // hot_n)
+        # Hot set is a pure function of (n, hot_n): no RNG draws, no O(n)
+        # permutation, and stable across the whole stream.
+        self._hot = [customers[(i * stride) % n] for i in range(hot_n)]
+
+    @property
+    def config(self) -> BenignConfig:
+        return self._model.config
+
+    def flows_for_minute(self, minute: int) -> list[tuple[int, FlowRecord]]:
+        """One minute of budgeted benign traffic as (customer_id, flow)."""
+        out: list[tuple[int, FlowRecord]] = []
+        n_tail = int(self.flow_budget * self.tail_fraction)
+        n_hot = max(len(self._hot), self.flow_budget - n_tail)
+        per_hot = max(1, n_hot // len(self._hot))
+        for customer in self._hot:
+            total_bytes = self._model.rate_at(customer, minute)
+            for flow in self._model._make_flows(
+                customer.address, minute, per_hot, total_bytes
+            ):
+                out.append((customer.customer_id, flow))
+        n = len(self.customers)
+        rng = self._rng
+        for _ in range(n_tail):
+            cid = int(rng.integers(n))
+            customer = self.customers[cid]
+            kind = int(rng.choice(len(_BENIGN_MIX), p=self._model._mix_weights))
+            protocol, src_port, dst_port, flags, _w = _BENIGN_MIX[kind]
+            src = int(rng.choice(self._model.clients))
+            flow_bytes = max(64, int(rng.lognormal(mean=8.0, sigma=1.0)))
+            out.append(
+                (
+                    cid,
+                    FlowRecord(
+                        timestamp=minute,
+                        src_addr=src,
+                        dst_addr=customer.address,
+                        src_port=src_port or int(rng.integers(1024, 65535)),
+                        dst_port=dst_port or int(rng.integers(1024, 65535)),
+                        protocol=protocol,
+                        packets=max(1, flow_bytes // 700),
+                        bytes_=flow_bytes,
+                        tcp_flags=flags,
+                        src_country=self._model.country_of.get(src, "US"),
+                    ),
+                )
+            )
+        return out

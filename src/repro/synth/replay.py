@@ -22,7 +22,8 @@ from ..netflow.matrix import (
     VOLUMETRIC_FEATURE_NAMES,
 )
 from ..netflow.records import FlowRecord, Protocol, TcpFlags
-from .scenario import Trace
+from .scenario import AttackEvent, Trace
+from .stream import MinuteSlice
 
 __all__ = ["TraceReplayer"]
 
@@ -44,6 +45,13 @@ class TraceReplayer:
     def __init__(self, trace: Trace, seed: int = 0) -> None:
         self.trace = trace
         self._rng = np.random.default_rng(seed)
+        self._cursor = 0
+        self._events_by_onset: dict[int, list[AttackEvent]] = {}
+        for event in trace.events:
+            self._events_by_onset.setdefault(event.onset, []).append(event)
+        self._events_by_end: dict[int, list[AttackEvent]] = {}
+        for event in trace.events:
+            self._events_by_end.setdefault(event.end, []).append(event)
 
     # ------------------------------------------------------------------
     def _cell_flows(self, customer_address: int, minute: int, cell) -> list[FlowRecord]:
@@ -130,3 +138,46 @@ class TraceReplayer:
             raise ValueError("replay range outside the trace horizon")
         for minute in range(start_minute, end):
             yield minute, self.minute_flows(minute)
+
+    # ------------------------------------------------------------------
+    # TraceSource protocol
+    @property
+    def horizon(self) -> int:
+        return self.trace.horizon
+
+    def events_so_far(self) -> list[AttackEvent]:
+        """Events whose onset the replay cursor has reached."""
+        return [e for e in self.trace.events if e.onset < self._cursor]
+
+    def iter_minutes(
+        self, start_minute: int = 0, end_minute: int | None = None
+    ) -> Iterator[MinuteSlice]:
+        """Stream reconstructed minutes as :class:`MinuteSlice` objects.
+
+        The records per minute are exactly :meth:`minute_flows` (same
+        customer iteration order), so record-protocol consumers see the
+        identical flow stream whether they use ``replay`` or the
+        TraceSource lane.
+        """
+        end = end_minute if end_minute is not None else self.trace.horizon
+        if not 0 <= start_minute <= end <= self.trace.horizon:
+            raise ValueError("replay range outside the trace horizon")
+        for minute in range(start_minute, end):
+            records: list[FlowRecord] = []
+            customer_ids: list[int] = []
+            for customer in self.trace.world.customers:
+                cell = self.trace.matrix.cell(
+                    customer.customer_id, minute, SOURCE_CLASS_ALL
+                )
+                if cell is not None:
+                    flows = self._cell_flows(customer.address, minute, cell)
+                    records.extend(flows)
+                    customer_ids.extend([customer.customer_id] * len(flows))
+            self._cursor = max(self._cursor, minute + 1)
+            yield MinuteSlice(
+                minute,
+                np.array(customer_ids, dtype=np.int64),
+                records=records,
+                events_started=tuple(self._events_by_onset.get(minute, ())),
+                events_ended=tuple(self._events_by_end.get(minute, ())),
+            )

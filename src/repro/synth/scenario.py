@@ -18,7 +18,10 @@ the learning problem is preserved at laptop scale.
 
 from __future__ import annotations
 
+import warnings
+from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterator
 
 import numpy as np
 
@@ -31,7 +34,7 @@ from ..netflow.matrix import (
 from ..netflow.records import FlowRecord
 from ..netflow.sampler import PacketSampler
 from .attacks import AttackSignature, AttackType, generate_attack_flows, signature_for
-from .benign import BenignConfig, BenignTrafficModel
+from .benign import BenignConfig, BenignTrafficModel, BudgetedBenignTraffic
 from .campaign import (
     Campaign,
     CampaignConfig,
@@ -42,6 +45,7 @@ from .campaign import (
     plan_pulse_wave,
     schedule_campaigns,
 )
+from .stream import MinuteSlice
 from .world import IspWorld, WorldConfig
 
 ATTACK_FAMILIES = ("campaign", "carpet_bombing", "pulse_wave", "multi_vector")
@@ -116,6 +120,16 @@ class ScenarioConfig:
     # starting at drift_start_day (None = mid-trace).
     benign_drift: str | None = None
     drift_start_day: float | None = None
+    # ---- scale knobs (million-customer universes) --------------------
+    # Lazy customer allocation: customers materialize on demand, so world
+    # construction is O(1) in n_customers (see WorldConfig.lazy).
+    lazy_world: bool = False
+    # When set, benign traffic spends a fixed per-minute flow budget
+    # (BudgetedBenignTraffic) instead of one generator pass per customer —
+    # per-minute work becomes independent of n_customers.
+    benign_flow_budget: int | None = None
+    benign_hot_customers: int = 256
+    benign_tail_fraction: float = 0.2
 
     def __post_init__(self) -> None:
         if self.total_days <= 0 or self.minutes_per_day < 1:
@@ -171,6 +185,12 @@ class ScenarioConfig:
             0 <= self.drift_start_day < self.total_days
         ):
             raise ValueError("drift_start_day must fall inside the horizon")
+        if self.benign_flow_budget is not None and self.benign_flow_budget < 1:
+            raise ValueError("benign_flow_budget must be >= 1")
+        if self.benign_hot_customers < 1:
+            raise ValueError("benign_hot_customers must be >= 1")
+        if not 0.0 <= self.benign_tail_fraction <= 1.0:
+            raise ValueError("benign_tail_fraction must be in [0, 1]")
 
     @property
     def horizon_minutes(self) -> int:
@@ -186,6 +206,7 @@ class ScenarioConfig:
             n_botnets=self.n_botnets,
             botnet_size=self.botnet_size,
             seed=self.seed,
+            lazy=self.lazy_world,
         )
 
     def campaign_config(self) -> CampaignConfig:
@@ -325,20 +346,29 @@ class TraceGenerator:
         self._rng = np.random.default_rng(traffic_ss)
         self._spoof_rng = np.random.default_rng(spoof_ss)
         self.world = IspWorld(self.config.world_config())
-        self._benign = BenignTrafficModel(
-            self.world.benign_clients,
-            self.world.country_of,
-            self.config.benign_config(),
-            rng=np.random.default_rng(benign_ss),
-        )
+        if self.config.benign_flow_budget is not None:
+            self._benign: BenignTrafficModel | BudgetedBenignTraffic = (
+                BudgetedBenignTraffic(
+                    self.world.customers,
+                    self.world.benign_clients,
+                    self.world.country_of,
+                    self.config.benign_config(),
+                    rng=np.random.default_rng(benign_ss),
+                    flow_budget=self.config.benign_flow_budget,
+                    hot_customers=self.config.benign_hot_customers,
+                    tail_fraction=self.config.benign_tail_fraction,
+                )
+            )
+        else:
+            self._benign = BenignTrafficModel(
+                self.world.benign_clients,
+                self.world.country_of,
+                self.config.benign_config(),
+                rng=np.random.default_rng(benign_ss),
+            )
         rates = self.config.sampling_rates or (self.config.sampling_rate,)
         sampler_rng = np.random.default_rng(sampler_ss)
         self._samplers = [PacketSampler(r, rng=sampler_rng) for r in rates]
-        # Each customer's ingress POP uses one sampler (round-robin).
-        self._sampler_of = {
-            c.customer_id: self._samplers[i % len(self._samplers)]
-            for i, c in enumerate(self.world.customers)
-        }
         # Blocklisted /24 ground truth is the union over botnets; the
         # signals.BlocklistDirectory adds category structure and noise on top.
         self.blocklisted_addrs: set[int] = set()
@@ -348,6 +378,22 @@ class TraceGenerator:
             blocklist_membership if blocklist_membership is not None
             else self.blocklisted_addrs
         )
+        # Streaming state: one generator = one pass over the RNG streams.
+        self._consumed = False
+        self._events: list[AttackEvent] = []
+        self._events_seen: list[AttackEvent] = []
+        self._preps: list[PlannedPrep] = []
+        self._total_flows = 0
+        self._sampled_flows = 0
+
+    def _sampler_for(self, customer_id: int) -> PacketSampler:
+        """Each customer's ingress POP uses one sampler (round-robin).
+
+        Customer ids are allocation indices, so the modulo mapping matches
+        the historical per-customer round-robin table without materializing
+        an entry per customer.
+        """
+        return self._samplers[customer_id % len(self._samplers)]
 
     # ------------------------------------------------------------------
     def _attack_sources(
@@ -522,8 +568,43 @@ class TraceGenerator:
                 )
         return campaigns
 
-    def generate(self) -> Trace:
-        """Run the full simulation and return the materialized trace."""
+    # ------------------------------------------------------------------
+    # TraceSource protocol
+    @property
+    def horizon(self) -> int:
+        return self.config.horizon_minutes
+
+    def events_so_far(self) -> list[AttackEvent]:
+        """Ground-truth events whose onset the stream has reached."""
+        return list(self._events_seen)
+
+    def iter_minutes(
+        self, start_minute: int = 0, end_minute: int | None = None
+    ) -> Iterator[MinuteSlice]:
+        """Stream the simulation as per-minute :class:`MinuteSlice` objects.
+
+        The world always advances causally from minute 0 (every RNG stream
+        is consumed in the same order as the materialized lane, which is
+        what makes streaming and materialization byte-identical); slices
+        outside ``[start_minute, end_minute)`` are simulated but not
+        yielded.  One generator supports exactly one pass — the underlying
+        streams advance as minutes are produced — so build a fresh
+        :class:`TraceGenerator` to iterate again.
+        """
+        horizon = self.config.horizon_minutes
+        end = horizon if end_minute is None else end_minute
+        if not 0 <= start_minute <= end <= horizon:
+            raise ValueError("requested range outside the scenario horizon")
+        if self._consumed:
+            raise RuntimeError(
+                "TraceGenerator streams are single-shot; build a fresh "
+                "generator to iterate again"
+            )
+        self._consumed = True
+        return self._stream(start_minute, end)
+
+    def _stream(self, start: int, end: int) -> Iterator[MinuteSlice]:
+        """Run the simulation minute by minute (the one true minute loop)."""
         cfg = self.config
         rng = self._rng
         horizon = cfg.horizon_minutes
@@ -533,6 +614,7 @@ class TraceGenerator:
             (a for c in campaigns for a in c.attacks), key=lambda a: a.onset
         )
         preps: list[PlannedPrep] = [p for c in campaigns for p in c.preps]
+        self._preps = preps
 
         events: list[AttackEvent] = []
         for i, attack in enumerate(planned):
@@ -560,39 +642,40 @@ class TraceGenerator:
                 )
             )
 
+        self._events = events
+
         # Per-attack fixed source pools (reused every minute of the attack —
         # bots persist within an attack).
         source_pools = {
             e.event_id: self._attack_sources(planned[e.event_id], rng) for e in events
         }
 
-        matrix = TrafficMatrix()
-        prev_attackers: dict[int, set[int]] = {c.customer_id: set() for c in self.world.customers}
+        # Per-customer state is allocated on first touch only, so idle
+        # customers in a huge universe cost nothing.
+        prev_attackers: defaultdict[int, set[int]] = defaultdict(set)
         # Index events/preps by active minute ranges for the sweep.
         events_by_onset = sorted(events, key=lambda e: e.onset)
         active_events: list[AttackEvent] = []
         event_cursor = 0
         spoof_cache: dict[int, bool] = {}
 
-        total_flows = 0
-        sampled_count = 0
-
-        for minute in range(horizon):
+        for minute in range(end):
             # Activate/retire events.
+            started_events: list[AttackEvent] = []
             while event_cursor < len(events_by_onset) and events_by_onset[event_cursor].onset <= minute:
+                started_events.append(events_by_onset[event_cursor])
                 active_events.append(events_by_onset[event_cursor])
                 event_cursor += 1
             finished = [e for e in active_events if e.end <= minute]
             for e in finished:
                 prev_attackers[e.customer_id].update(e.attackers)
             active_events = [e for e in active_events if e.end > minute]
+            self._events_seen.extend(started_events)
 
             minute_flows: list[tuple[int, FlowRecord]] = []  # (customer_id, flow)
 
-            # Benign traffic for every customer.
-            for customer in self.world.customers:
-                for flow in self._benign.flows_at(customer, minute):
-                    minute_flows.append((customer.customer_id, flow))
+            # Benign traffic.
+            minute_flows.extend(self._benign_flows(minute))
 
             # Preparation probes (suppressed in the §8 evasion scenario).
             if not cfg.skip_preparation:
@@ -625,14 +708,18 @@ class TraceGenerator:
                 for flow in flows:
                     minute_flows.append((event.customer_id, flow))
 
-            # Sample, tag, aggregate — and fold signature-matching bytes into
-            # the per-event anomalous series / attacker sets.
+            # Sample and tag — and fold signature-matching bytes into the
+            # per-event anomalous series / attacker sets.  Aggregation into
+            # a matrix is the *consumer's* choice (see ``materialize``).
+            customer_ids: list[int] = []
+            records: list[FlowRecord] = []
+            mask_rows: dict[str, list[int]] = {}
+            minute_total = 0
             for customer_id, flow in minute_flows:
-                total_flows += 1
-                sampled = self._sampler_of[customer_id].sample(flow)
+                minute_total += 1
+                sampled = self._sampler_for(customer_id).sample(flow)
                 if sampled is None:
                     continue
-                sampled_count += 1
                 classes: list[str] = []
                 if sampled.src_addr in self._blocklist:
                     classes.append(SOURCE_CLASS_BLOCKLIST)
@@ -651,19 +738,75 @@ class TraceGenerator:
                         event.attackers.add(sampled.src_addr)
                         event.anomalous_bytes[minute - event.onset] += sampled.estimated_bytes
                         break
-                matrix.add_flow(customer_id, sampled, classes)
+                row = len(records)
+                customer_ids.append(customer_id)
+                records.append(sampled)
+                for cls in classes:
+                    mask_rows.setdefault(cls, []).append(row)
 
-        # Events cut short by the horizon still need their attackers folded in.
-        for e in active_events:
-            prev_attackers[e.customer_id].update(e.attackers)
+            self._total_flows += minute_total
+            self._sampled_flows += len(records)
+            if minute >= start:
+                n = len(records)
+                masks: dict[str, np.ndarray] = {}
+                for cls, rows in mask_rows.items():
+                    m = np.zeros(n, dtype=bool)
+                    m[rows] = True
+                    masks[cls] = m
+                yield MinuteSlice(
+                    minute,
+                    np.array(customer_ids, dtype=np.int64),
+                    records=records,
+                    class_masks=masks,
+                    events_started=tuple(started_events),
+                    events_ended=tuple(finished),
+                    total_flows=minute_total,
+                )
 
+    def _benign_flows(self, minute: int) -> list[tuple[int, FlowRecord]]:
+        """One minute of benign traffic (dense per-customer or budgeted)."""
+        if isinstance(self._benign, BudgetedBenignTraffic):
+            return self._benign.flows_for_minute(minute)
+        out: list[tuple[int, FlowRecord]] = []
+        for customer in self.world.customers:
+            for flow in self._benign.flows_at(customer, minute):
+                out.append((customer.customer_id, flow))
+        return out
+
+    def materialize(self) -> Trace:
+        """Collect the full stream into an in-memory :class:`Trace`.
+
+        The matrix fold uses the vectorized ``add_batch`` lane, which is
+        bit-identical to scalar ``add_flow`` in arrival order, so the
+        result matches the historical one-shot generation byte for byte.
+        """
+        cfg = self.config
+        matrix = TrafficMatrix()
+        for sl in self.iter_minutes():
+            if sl.sampled_flows:
+                matrix.add_batch(sl.customer_ids, sl.batch, sl.class_masks)
         return Trace(
             config=cfg,
             world=self.world,
             matrix=matrix,
-            events=events,
-            preps=preps,
-            horizon=horizon,
-            total_flows=total_flows,
-            sampled_flows=sampled_count,
+            events=self._events,
+            preps=self._preps,
+            horizon=cfg.horizon_minutes,
+            total_flows=self._total_flows,
+            sampled_flows=self._sampled_flows,
         )
+
+    def generate(self) -> Trace:
+        """Deprecated alias of :meth:`materialize`.
+
+        Full-trace materialization is the legacy lane; new call sites
+        should stream :meth:`iter_minutes` (or call :meth:`materialize`
+        explicitly when an in-memory :class:`Trace` is genuinely needed).
+        """
+        warnings.warn(
+            "TraceGenerator.generate() is deprecated; stream iter_minutes() "
+            "or call materialize() for an explicit in-memory trace",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.materialize()

@@ -19,6 +19,7 @@ serving >1,000 customer networks (§2.2).  The world allocates:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -76,6 +77,52 @@ class WorldConfig:
     # attack (Fig 4a: blocklisted sources convert in 65.7% of attacks).
     unlisted_botnet_fraction: float = 0.25
     seed: int = 7
+    # Lazy customer allocation: customers materialize on demand from a
+    # per-customer seed stream instead of an O(n_customers) allocation
+    # loop, so million-customer universes cost nothing at rest.  Lazy and
+    # eager universes are *different* worlds (the eager allocation draws
+    # per-customer values sequentially from one stream); streaming vs
+    # materialized generation stays byte-identical within either mode.
+    lazy: bool = False
+
+
+class _LazyCustomers(Sequence):
+    """A virtual customer list: entries materialize on indexing.
+
+    Each customer's parameters derive from an independent
+    ``SeedSequence([seed, index])`` stream, so ``customers[i]`` is a pure
+    function of ``(seed, i)`` — two lookups of the same index return equal
+    (frozen-dataclass) values and no per-customer state is ever retained.
+    """
+
+    __slots__ = ("_base", "_n", "_sectors", "_seed")
+
+    def __init__(self, base: int, n: int, sectors: tuple[str, ...], seed: int) -> None:
+        self._base = base
+        self._n = n
+        self._sectors = sectors
+        self._seed = seed
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._n))]
+        i = int(index)
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError("customer index out of range")
+        rng = np.random.default_rng(np.random.SeedSequence([self._seed, i]))
+        return Customer(
+            customer_id=i,
+            address=self._base + i * 256,
+            asn=64500 + i,
+            sector=self._sectors[i % len(self._sectors)],
+            base_rate_bytes=float(rng.lognormal(mean=13.0, sigma=1.0)),
+            diurnal_amplitude=float(rng.uniform(0.2, 0.6)),
+        )
 
 
 class IspWorld:
@@ -101,7 +148,7 @@ class IspWorld:
         self.config = config or WorldConfig()
         self._rng = np.random.default_rng(self.config.seed)
         self.route_table = RouteTable()
-        self.customers: list[Customer] = []
+        self.customers: Sequence[Customer] = []
         self.botnets: list[Botnet] = []
         self.benign_clients: np.ndarray = np.empty(0, dtype=np.int64)
         self.resolvers: np.ndarray = np.empty(0, dtype=np.int64)
@@ -114,22 +161,37 @@ class IspWorld:
         cfg = self.config
         rng = self._rng
 
-        # Customers: heavy-tailed benign baselines so effectiveness spreads.
-        for i in range(cfg.n_customers):
-            address = self._CUSTOMER_BASE + i * 256  # one /24 apart
-            asn = 64500 + i
-            base_rate = float(rng.lognormal(mean=13.0, sigma=1.0))  # ~0.5 MB/min
-            customer = Customer(
-                customer_id=i,
-                address=address,
-                asn=asn,
-                sector=self._SECTORS[i % len(self._SECTORS)],
-                base_rate_bytes=base_rate,
-                diurnal_amplitude=float(rng.uniform(0.2, 0.6)),
+        if cfg.lazy:
+            # Customers materialize on demand; one covering announcement
+            # replaces the per-customer /24s (same spoof-check semantics
+            # for every customer address, O(1) state).
+            self.customers = _LazyCustomers(
+                self._CUSTOMER_BASE, cfg.n_customers, self._SECTORS, cfg.seed
             )
-            self.customers.append(customer)
-            self.asn_of_customer[address] = asn
-            self.route_table.announce((address & 0xFFFFFF00, address | 0xFF), asn)
+            self.route_table.announce(
+                (self._CUSTOMER_BASE, self._CUSTOMER_BASE + cfg.n_customers * 256 - 1),
+                64500,
+            )
+        else:
+            # Customers: heavy-tailed benign baselines so effectiveness
+            # spreads.
+            customers: list[Customer] = []
+            for i in range(cfg.n_customers):
+                address = self._CUSTOMER_BASE + i * 256  # one /24 apart
+                asn = 64500 + i
+                base_rate = float(rng.lognormal(mean=13.0, sigma=1.0))  # ~0.5 MB/min
+                customer = Customer(
+                    customer_id=i,
+                    address=address,
+                    asn=asn,
+                    sector=self._SECTORS[i % len(self._SECTORS)],
+                    base_rate_bytes=base_rate,
+                    diurnal_amplitude=float(rng.uniform(0.2, 0.6)),
+                )
+                customers.append(customer)
+                self.asn_of_customer[address] = asn
+                self.route_table.announce((address & 0xFFFFFF00, address | 0xFF), asn)
+            self.customers = customers
 
         # Benign clients: per-country blocks (weighted toward the popular
         # countries, matching Appendix D's >95% coverage).
@@ -207,6 +269,12 @@ class IspWorld:
         return base + rng.choice(2**20, size=size, replace=False).astype(np.int64)
 
     def customer_by_address(self, address: int) -> Customer | None:
+        if isinstance(self.customers, _LazyCustomers):
+            offset = address - self._CUSTOMER_BASE
+            index, rem = divmod(offset, 256)
+            if rem == 0 and 0 <= index < self.config.n_customers:
+                return self.customers[index]
+            return None
         for customer in self.customers:
             if customer.address == address:
                 return customer

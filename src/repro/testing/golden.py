@@ -105,7 +105,7 @@ def compute_golden_arrays(spec: GoldenSpec | None = None) -> dict[str, np.ndarra
     from ..synth import TraceGenerator
 
     spec = spec or GoldenSpec()
-    trace = TraceGenerator(spec.scenario()).generate()
+    trace = TraceGenerator(spec.scenario()).materialize()
     alerts = NetScoutDetector().detect(trace)
     labeled = [a for a in alerts if a.event_id >= 0]
     if not labeled:

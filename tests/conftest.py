@@ -38,7 +38,7 @@ def small_model_config() -> XatuModelConfig:
 @pytest.fixture(scope="session")
 def trace():
     """One shared synthetic trace for read-only tests."""
-    return TraceGenerator(small_scenario()).generate()
+    return TraceGenerator(small_scenario()).materialize()
 
 
 @pytest.fixture(scope="session")

@@ -364,6 +364,54 @@ class TestAlertOrderHazard:
 
 
 # ----------------------------------------------------------------------
+# XL011 — materialized traces in library code
+# ----------------------------------------------------------------------
+class TestMaterializedTrace:
+    def test_generate_shim_fires(self):
+        fires("XL011", """
+            def build(gen):
+                return gen.generate()
+        """)
+
+    def test_direct_trace_construction_fires(self):
+        fires("XL011", """
+            def assemble(matrix, events):
+                return Trace(matrix, events=events)
+        """)
+
+    def test_streaming_is_fine(self):
+        silent("XL011", """
+            def drive(gen):
+                for sl in gen.iter_minutes():
+                    consume(sl.batch)
+        """)
+
+    def test_explicit_materialize_is_fine(self):
+        silent("XL011", """
+            def snapshot(gen):
+                return gen.materialize()
+        """)
+
+    def test_bare_generate_name_is_fine(self):
+        # Only the attribute-call shim is deprecated; a local function
+        # that happens to be called `generate` is someone else's business.
+        silent("XL011", """
+            def run():
+                return generate()
+        """)
+
+    def test_tests_are_out_of_scope(self):
+        silent(
+            "XL011",
+            """
+            def test_round_trip(gen):
+                return gen.generate()
+            """,
+            rel_path="tests/test_fixture.py",
+        )
+
+
+# ----------------------------------------------------------------------
 # framework behaviour
 # ----------------------------------------------------------------------
 class TestFramework:

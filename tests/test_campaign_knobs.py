@@ -25,15 +25,15 @@ class TestScenarioCampaignKnobs:
             base_scenario(echo_probability=1.5)
 
     def test_attacks_per_campaign_scales_event_count(self):
-        few = TraceGenerator(base_scenario(attacks_per_campaign=1.0)).generate()
-        many = TraceGenerator(base_scenario(attacks_per_campaign=12.0)).generate()
+        few = TraceGenerator(base_scenario(attacks_per_campaign=1.0)).materialize()
+        many = TraceGenerator(base_scenario(attacks_per_campaign=12.0)).materialize()
         assert len(many.events) > len(few.events)
 
     def test_echo_probability_zero_disables_echoes(self):
         scenario = base_scenario(echo_probability=0.0)
         config = scenario.campaign_config()
         assert config.echo_probability == 0.0
-        trace = TraceGenerator(scenario).generate()
+        trace = TraceGenerator(scenario).materialize()
         # Without echoes, no two events of a campaign start within the echo
         # delay range on different customers.
         by_campaign: dict[int, list] = {}

@@ -23,18 +23,18 @@ def mini_scenario(**overrides):
 class TestHeterogeneousSampling:
     def test_rates_assigned_round_robin(self):
         gen = TraceGenerator(mini_scenario(sampling_rates=(1, 10)))
-        rates = [gen._sampler_of[c.customer_id].rate for c in gen.world.customers]
+        rates = [gen._sampler_for(c.customer_id).rate for c in gen.world.customers]
         assert rates == [1, 10, 1, 10, 1]
 
     def test_sampled_flow_count_drops_with_rate(self):
-        dense = TraceGenerator(mini_scenario()).generate()
-        sparse = TraceGenerator(mini_scenario(sampling_rates=(100,))).generate()
+        dense = TraceGenerator(mini_scenario()).materialize()
+        sparse = TraceGenerator(mini_scenario(sampling_rates=(100,))).materialize()
         assert sparse.sampled_flows < dense.sampled_flows * 0.6
 
     def test_compensated_volume_roughly_preserved(self):
         """Sampling-compensated byte totals stay in the right ballpark."""
-        dense = TraceGenerator(mini_scenario()).generate()
-        sparse = TraceGenerator(mini_scenario(sampling_rates=(10,))).generate()
+        dense = TraceGenerator(mini_scenario()).materialize()
+        sparse = TraceGenerator(mini_scenario(sampling_rates=(10,))).materialize()
         d = sum(dense.matrix.bytes_series(c.customer_id, 0, dense.horizon).sum()
                 for c in dense.world.customers)
         s = sum(sparse.matrix.bytes_series(c.customer_id, 0, sparse.horizon).sum()
@@ -51,7 +51,7 @@ class TestEvasionScenarios:
     def test_fresh_sources_defeat_a2_tagging(self):
         from repro.netflow import SOURCE_CLASS_PREV_ATTACKER
 
-        trace = TraceGenerator(mini_scenario(fresh_sources=True)).generate()
+        trace = TraceGenerator(mini_scenario(fresh_sources=True)).materialize()
         assert trace.events
         # No attacker ever repeats, so the A2 class stays (nearly) empty —
         # only benign sources matching old signatures can land in it.
@@ -65,15 +65,15 @@ class TestEvasionScenarios:
 
     def test_fresh_sources_not_blocklisted(self):
         gen = TraceGenerator(mini_scenario(fresh_sources=True))
-        trace = gen.generate()
+        trace = gen.materialize()
         listed = gen.blocklisted_addrs
         for event in trace.events:
             frac = sum(1 for a in event.attackers if a in listed) / max(1, len(event.attackers))
             assert frac < 0.2
 
     def test_skip_preparation_mutes_prep_traffic(self):
-        noisy = TraceGenerator(mini_scenario()).generate()
-        quiet = TraceGenerator(mini_scenario(skip_preparation=True)).generate()
+        noisy = TraceGenerator(mini_scenario()).materialize()
+        quiet = TraceGenerator(mini_scenario(skip_preparation=True)).materialize()
         # Same schedule (same seed); the quiet trace carries fewer flows.
         assert quiet.total_flows < noisy.total_flows
 

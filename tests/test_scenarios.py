@@ -63,10 +63,11 @@ class TestCatalog:
         specs = all_specs()
         assert len(specs) >= 10
         families = {s.family for s in specs}
-        assert families == {"paper", "adversarial", "drift"}
+        assert families == {"paper", "adversarial", "drift", "scale"}
         assert sum(s.family == "paper" for s in specs) == 6
         assert sum(s.family == "adversarial" for s in specs) >= 4
         assert sum(s.family == "drift" for s in specs) >= 1
+        assert sum(s.family == "scale" for s in specs) >= 1
 
     def test_names_unique_and_resolvable(self):
         names = scenario_names()
@@ -109,7 +110,7 @@ class TestCatalog:
 # synth knobs behind the new families
 # ----------------------------------------------------------------------
 def _generate(name: str):
-    return TraceGenerator(get_spec(name).config).generate()
+    return TraceGenerator(get_spec(name).config).materialize()
 
 
 class TestNewFamilies:

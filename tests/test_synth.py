@@ -209,7 +209,7 @@ class TestTraceGeneration:
             total_days=8, minutes_per_day=100, prep_days=1.5,
             n_customers=5, n_botnets=2, botnet_size=60, seed=9,
         )
-        return TraceGenerator(cfg).generate()
+        return TraceGenerator(cfg).materialize()
 
     def test_events_have_anomalous_traffic(self, small_trace):
         assert small_trace.events
@@ -266,8 +266,8 @@ class TestTraceGeneration:
         )
         import dataclasses
         scaled_cfg = dataclasses.replace(base_cfg, rampup_volume_scale=0.2)
-        base = TraceGenerator(base_cfg).generate()
-        scaled = TraceGenerator(scaled_cfg).generate()
+        base = TraceGenerator(base_cfg).materialize()
+        scaled = TraceGenerator(scaled_cfg).materialize()
         # Same campaign schedule (same seed), smaller ramp traffic.
         assert len(base.events) == len(scaled.events)
         base_total = sum(e.anomalous_bytes.sum() for e in base.events)

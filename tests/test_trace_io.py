@@ -119,7 +119,7 @@ class TestGuards:
             n_customers=3, n_botnets=1, botnet_size=40,
             sampling_rates=(1, 10),
         )
-        trace = TraceGenerator(cfg).generate()
+        trace = TraceGenerator(cfg).materialize()
         save_trace(trace, tmp_path / "t")
         restored = load_trace(tmp_path / "t")
         assert restored.config.sampling_rates == (1, 10)
