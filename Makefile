@@ -6,8 +6,8 @@ PY := PYTHONPATH=src python
 .PHONY: verify test fast golden-check golden-record bench bench-full \
         bench-check bench-ingest bench-ingest-full scale-smoke \
         bench-scale-full metrics-selftest \
-        telemetry serve-smoke serve-batched-smoke lint lint-baseline \
-        sanitize-test scenarios scenarios-check scenarios-ci
+        telemetry serve-smoke serve-batched-smoke lint lint-deep \
+        lint-baseline sanitize-test scenarios scenarios-check scenarios-ci
 
 test:
 	$(PY) -m pytest -x -q
@@ -118,14 +118,20 @@ serve-batched-smoke:
 lint:
 	$(PY) -m repro.cli lint --strict
 
+# xatuflow (docs/ANALYSIS.md): adds the interprocedural XF001-XF004
+# checkers on top of the shallow rules, over a cached symbol graph.
+lint-deep:
+	$(PY) -m repro.cli lint --deep --strict
+
 # Regenerate the baseline after fixing or intentionally adding findings
-# (new entries get a TODO reason that must be replaced by hand).
+# (new entries get a TODO reason that must be replaced by hand).  Runs
+# --deep so XF entries are captured too.
 lint-baseline:
-	$(PY) -m repro.cli lint --write-baseline
+	$(PY) -m repro.cli lint --deep --write-baseline
 
 # Tier-1 suite under the runtime sanitizer: frozen tape buffers +
 # NaN/inf kernel-boundary guards (docs/ANALYSIS.md).
 sanitize-test:
 	REPRO_SANITIZE=1 $(PY) -m pytest -x -q -m "not slow"
 
-verify: lint test golden-check metrics-selftest
+verify: lint lint-deep test golden-check metrics-selftest

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
-from .framework import Finding
+from .framework import ANALYZER_VERSION, Finding
 
 __all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_PATH"]
 
@@ -63,9 +63,51 @@ class BaselineEntry:
 class Baseline:
     """An ordered set of :class:`BaselineEntry` with matching helpers."""
 
-    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+    def __init__(
+        self,
+        entries: Iterable[BaselineEntry] = (),
+        analyzer: str | None = None,
+        rules: tuple[str, ...] = (),
+    ) -> None:
         self.entries: list[BaselineEntry] = list(entries)
         self._index = {entry.fingerprint: entry for entry in self.entries}
+        # provenance stamp: which analyzer generation and rule inventory
+        # wrote this file (None/() for pre-stamp baselines)
+        self.analyzer = analyzer
+        self.rules = tuple(rules)
+
+    def stamp_warnings(self, current_rules: Iterable[str]) -> list[str]:
+        """Human-readable warnings when this baseline predates the
+        current analyzer or rule inventory — a cue to re-audit entries."""
+        warnings: list[str] = []
+        if self.analyzer is None:
+            warnings.append(
+                "baseline has no analyzer stamp (written before "
+                f"xatulint {ANALYZER_VERSION}); rewrite with "
+                "--write-baseline to stamp it"
+            )
+            return warnings
+        if self.analyzer != ANALYZER_VERSION:
+            warnings.append(
+                f"baseline was written by xatulint {self.analyzer}; "
+                f"this build is {ANALYZER_VERSION} — re-audit and rewrite "
+                "with --write-baseline"
+            )
+        current = tuple(sorted(current_rules))
+        if self.rules and current != self.rules:
+            added = sorted(set(current) - set(self.rules))
+            removed = sorted(set(self.rules) - set(current))
+            parts = []
+            if added:
+                parts.append(f"new rules since baseline: {', '.join(added)}")
+            if removed:
+                parts.append(f"rules gone since baseline: {', '.join(removed)}")
+            warnings.append(
+                "baseline rule inventory is outdated ("
+                + "; ".join(parts)
+                + ")"
+            )
+        return warnings
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -106,15 +148,22 @@ class Baseline:
                 f"baseline {path} has format version {version!r}; "
                 f"this build reads version {BASELINE_VERSION}"
             )
-        return cls(BaselineEntry.from_json(e) for e in payload.get("entries", ()))
+        return cls(
+            (BaselineEntry.from_json(e) for e in payload.get("entries", ())),
+            analyzer=payload.get("analyzer"),
+            rules=tuple(payload.get("rules", ())),
+        )
 
-    def save(self, path: str | Path) -> Path:
+    def save(self, path: str | Path, rules: Iterable[str] = ()) -> Path:
         path = Path(path)
         entries = sorted(
             self.entries, key=lambda e: (e.path, e.rule, e.line_text)
         )
+        stamp_rules = tuple(sorted(rules)) or self.rules
         payload = {
             "version": BASELINE_VERSION,
+            "analyzer": ANALYZER_VERSION,
+            "rules": list(stamp_rules),
             "entries": [e.to_json() for e in entries],
         }
         path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")

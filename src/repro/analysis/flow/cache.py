@@ -1,0 +1,102 @@
+"""Symbol-graph cache so ``cli lint --deep`` stays fast on warm runs.
+
+Building the table + call graph means parsing every analyzed file and
+walking every function body — cheap (well under a second for this repo)
+but not free, and the deep checkers re-run it on every invocation.  The
+cache pickles the finished :class:`SymbolGraph` keyed by a *manifest
+digest*: a sha256 over every analyzed file's path and content hash plus
+the analyzer version and flow-rule inventory.  Any edit to any analyzed
+file, or any change to the rule set, changes the digest and forces a
+rebuild — there is no staleness window to reason about.
+
+Pickling the table and call graph **together** matters: ``CallSite``
+objects reference ``ast.Call`` nodes inside the table's trees, and the
+checkers test those with ``is``.  A single ``pickle.dumps`` memoizes
+shared objects, so identity survives the round trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from pathlib import Path
+
+from ..framework import ANALYZER_VERSION, iter_python_files
+from .callgraph import build_call_graph
+from .checkers import ALL_FLOW_RULE_IDS, SymbolGraph
+from .symbols import SymbolTable
+
+__all__ = ["manifest_digest", "load_symbol_graph", "CACHE_DIR_NAME"]
+
+CACHE_DIR_NAME = ".xatuflow-cache"
+_PICKLE_PROTOCOL = 4
+
+
+def manifest_digest(root: Path, paths: list[str]) -> str:
+    """sha256 over (analyzer version, rule inventory, every file's
+    path + content hash).  Stable across runs, sensitive to any edit."""
+    h = hashlib.sha256()
+    h.update(ANALYZER_VERSION.encode())
+    h.update(",".join(ALL_FLOW_RULE_IDS).encode())
+    entries = []
+    for path in iter_python_files(paths, root):
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        try:
+            content = path.read_bytes()
+        except OSError:
+            continue
+        entries.append((rel, hashlib.sha256(content).hexdigest()))
+    for rel, digest in sorted(entries):
+        h.update(rel.encode())
+        h.update(digest.encode())
+    return h.hexdigest()
+
+
+def _cache_file(root: Path, paths: list[str]) -> Path:
+    key = hashlib.sha256("\x00".join(sorted(paths)).encode()).hexdigest()[:12]
+    return root / CACHE_DIR_NAME / f"graph-{key}.pkl"
+
+
+def build_symbol_graph(root: Path, paths: list[str]) -> SymbolGraph:
+    """Uncached build: parse, index, connect."""
+    table = SymbolTable.build(root, paths)
+    return SymbolGraph(table, build_call_graph(table))
+
+
+def load_symbol_graph(
+    root: Path, paths: list[str], use_cache: bool = True
+) -> tuple[SymbolGraph, bool]:
+    """Return ``(graph, from_cache)``; rebuilds and rewrites the cache on
+    any manifest mismatch.  Cache failures (corrupt pickle, unwritable
+    dir) silently fall back to a fresh build — the cache is an
+    optimization, never a correctness dependency."""
+    root = Path(root)
+    if not use_cache:
+        return build_symbol_graph(root, paths), False
+    digest = manifest_digest(root, paths)
+    cache_path = _cache_file(root, paths)
+    if cache_path.exists():
+        try:
+            payload = pickle.loads(cache_path.read_bytes())
+            if payload.get("manifest") == digest:
+                table = payload["table"]
+                graph = payload["graph"]
+                return SymbolGraph(table, graph), True
+        except Exception:
+            pass  # corrupt/incompatible cache: rebuild below
+    sg = build_symbol_graph(root, paths)
+    try:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        blob = pickle.dumps(
+            {"manifest": digest, "table": sg.table, "graph": sg.graph},
+            protocol=_PICKLE_PROTOCOL,
+        )
+        tmp = cache_path.with_suffix(".tmp")
+        tmp.write_bytes(blob)
+        tmp.replace(cache_path)
+    except Exception:
+        pass  # unwritable cache dir: run uncached
+    return sg, False

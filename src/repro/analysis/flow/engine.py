@@ -1,0 +1,108 @@
+"""The xatuflow fixpoint machinery.
+
+Two engines, both classic worklist iterations:
+
+* :func:`fixpoint_summaries` — **interprocedural**: computes one abstract
+  summary per function (e.g. "returns a float32 array", "returns a fresh
+  Generator") by iterating a transfer function to fixpoint over the call
+  graph.  When a function's summary changes, its *callers* re-enter the
+  worklist, so facts propagate across call edges — the property that
+  separates the XF rules from the per-file XL rules.
+
+* :func:`dataflow_forward` — **intraprocedural**: block-level forward
+  dataflow over one :class:`~repro.analysis.flow.cfg.CFG` with a
+  caller-supplied join, for the flow-sensitive checkers (dtype lanes).
+
+Both terminate because the abstract domains the checkers use are finite
+lattices and the transfer functions are monotone; a hard iteration cap
+guards against a checker bug ever hanging the lint gate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TypeVar
+
+from .callgraph import CallGraph
+from .cfg import CFG
+
+__all__ = ["fixpoint_summaries", "dataflow_forward"]
+
+S = TypeVar("S")
+
+_MAX_ROUNDS = 50  # defensive cap; real fixpoints settle in < 5 rounds
+
+
+def fixpoint_summaries(
+    graph: CallGraph,
+    functions: Iterable[str],
+    initial: Callable[[str], S],
+    transfer: Callable[[str, Callable[[str], S]], S],
+) -> dict[str, S]:
+    """Iterate ``transfer`` over the call graph until summaries stabilize.
+
+    ``transfer(qualname, get_summary)`` recomputes one function's summary,
+    reading callee summaries through ``get_summary`` (which returns the
+    ``initial`` value for functions outside the analyzed set, so external
+    callees degrade to the checker's ⊥/unknown).
+    """
+    names = list(functions)
+    summaries: dict[str, S] = {name: initial(name) for name in names}
+    in_set = set(names)
+
+    def get_summary(qualname: str) -> S:
+        if qualname in summaries:
+            return summaries[qualname]
+        return initial(qualname)
+
+    worklist = list(names)
+    rounds: dict[str, int] = {}
+    while worklist:
+        name = worklist.pop()
+        rounds[name] = rounds.get(name, 0) + 1
+        if rounds[name] > _MAX_ROUNDS:
+            continue
+        updated = transfer(name, get_summary)
+        if updated != summaries[name]:
+            summaries[name] = updated
+            # The change can affect every caller's summary.
+            for site in graph.callers_of(name):
+                if site.caller in in_set and site.caller not in worklist:
+                    worklist.append(site.caller)
+    return summaries
+
+
+def dataflow_forward(
+    cfg: CFG,
+    init: S,
+    transfer_block: Callable[[int, S], S],
+    join: Callable[[S, S], S],
+    equal: Callable[[S, S], bool] | None = None,
+) -> dict[int, S]:
+    """Forward dataflow to fixpoint; returns the *input* state per block.
+
+    ``transfer_block(index, state)`` returns the block's output state;
+    ``join`` merges states at control-flow joins.  ``equal`` defaults to
+    ``==``.
+    """
+    eq = equal or (lambda a, b: a == b)
+    n = len(cfg.blocks)
+    in_states: dict[int, S] = {cfg.entry: init}
+    worklist = [cfg.entry]
+    visits: dict[int, int] = {}
+    while worklist:
+        idx = worklist.pop(0)
+        visits[idx] = visits.get(idx, 0) + 1
+        if visits[idx] > _MAX_ROUNDS * max(1, n):
+            continue
+        out = transfer_block(idx, in_states[idx])
+        for succ in cfg.blocks[idx].successors:
+            if succ not in in_states:
+                in_states[succ] = out
+                worklist.append(succ)
+            else:
+                merged = join(in_states[succ], out)
+                if not eq(merged, in_states[succ]):
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+    return in_states

@@ -32,6 +32,7 @@ from pathlib import Path, PurePosixPath
 from typing import Iterable, Iterator
 
 __all__ = [
+    "ANALYZER_VERSION",
     "Severity",
     "Finding",
     "Rule",
@@ -43,6 +44,13 @@ __all__ = [
     "analyze_paths",
     "iter_python_files",
 ]
+
+
+# Analyzer generation, stamped into baseline files.  Bump the major when
+# the rule inventory or a rule's semantics change enough that an old
+# baseline deserves a re-audit; `cli lint` warns when a baseline was
+# written by an older analyzer or a different rule set.
+ANALYZER_VERSION = "2.0"
 
 
 class Severity:

@@ -394,6 +394,13 @@ class UnlockedSharedStateRule(Rule):
     comment naming the one thread allowed to write it, placed either on
     the write itself or on the attribute's introduction in ``__init__``
     (ownership is a property of the attribute, declared once).
+
+    Private helpers invoked **only** from ``__init__`` (transitively —
+    an init helper calling another init helper still counts) run before
+    any thread exists, so their writes are construction, not sharing;
+    they are exempt exactly like ``__init__`` itself.  A helper loses
+    the exemption the moment any post-init method calls it, or its bound
+    reference escapes (``target=self._helper``).
     """
 
     id = "XL006"
@@ -438,13 +445,77 @@ class UnlockedSharedStateRule(Rule):
                     owned.add(target.attr)
         return owned
 
+    def _init_phase_methods(self, cls: ast.ClassDef) -> set[str]:
+        """Private methods whose *only* callers are ``__init__`` or other
+        init-phase helpers — they run before the thread is spawned."""
+        methods = {
+            f.name: f for f in cls.body if isinstance(f, ast.FunctionDef)
+        }
+        calls: dict[str, set[str]] = {name: set() for name in methods}
+        call_funcs: set[int] = set()
+        referenced: set[str] = set()
+        for name, func in methods.items():
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    call_funcs.add(id(node.func))
+                    target = node.func
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and target.attr in methods
+                    ):
+                        calls[name].add(target.attr)
+        # A bound reference that is not the callee of a Call (thread
+        # target, callback registration) can run at any time later.
+        for func in methods.values():
+            for node in ast.walk(func):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                    and node.attr in methods
+                    and id(node) not in call_funcs
+                ):
+                    referenced.add(node.attr)
+        # closure of private helpers reachable from __init__
+        phase: set[str] = set()
+        stack = list(calls.get("__init__", ()))
+        while stack:
+            name = stack.pop()
+            if name in phase:
+                continue
+            if not name.startswith("_") or name.startswith("__"):
+                continue
+            if name in referenced:
+                continue
+            phase.add(name)
+            stack.extend(calls[name])
+        # drop helpers also called from outside the init phase; removal
+        # cascades until stable (a helper only kept alive by a removed
+        # helper is itself post-init-callable)
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in calls.items():
+                if name == "__init__" or name in phase:
+                    continue
+                for callee in callees:
+                    if callee in phase:
+                        phase.discard(callee)
+                        changed = True
+        return phase
+
     def check(self, ctx: FileContext) -> Iterable[tuple[ast.AST, str]]:
         for cls in ctx.walk(ast.ClassDef):
             if not self._spawns_threads(cls):
                 continue
             owned = self._owned_attrs(ctx, cls)
+            init_phase = self._init_phase_methods(cls)
             for func in cls.body:
                 if not isinstance(func, ast.FunctionDef) or func.name == "__init__":
+                    continue
+                if func.name in init_phase:
                     continue
                 for node in ast.walk(func):
                     if not isinstance(node, (ast.Assign, ast.AugAssign)):

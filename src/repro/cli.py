@@ -714,6 +714,9 @@ def cmd_report(args) -> int:
 def cmd_lint(args) -> int:
     """Run xatulint (repro.analysis) over the tree and gate on findings.
 
+    ``--deep`` adds the xatuflow interprocedural checkers (XF001–XF004)
+    on top of the shallow XL rules, built from a cached symbol graph.
+
     Exit codes: 0 clean (baselined findings don't count), 1 when the gate
     fails — any new finding or stale baseline entry under ``--strict``,
     new *error*-severity findings otherwise — and 2 on usage errors.
@@ -728,22 +731,44 @@ def cmd_lint(args) -> int:
         analyze_paths,
         iter_python_files,
     )
+    from .analysis.flow import ALL_FLOW_RULE_IDS, all_flow_checkers
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.severity:<7}  {rule.name}")
             if rule.description:
                 print(f"       {rule.description}")
+        for checker in all_flow_checkers():
+            print(f"{checker.id}  {checker.severity:<7}  {checker.name}  "
+                  f"(--deep)")
+            if checker.description:
+                print(f"       {checker.description}")
         return 0
 
     root = Path.cwd()
     findings = analyze_paths(args.paths, root=root)
 
+    if args.deep:
+        from .analysis.flow import load_symbol_graph
+
+        sg, _from_cache = load_symbol_graph(
+            root, list(args.paths), use_cache=not args.no_cache
+        )
+        for checker in all_flow_checkers():
+            findings.extend(checker.run(sg))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    # The full inventory (shallow + deep) is what baselines are stamped
+    # with, independent of --deep, so stamp warnings are stable.
+    inventory = tuple(sorted(
+        [r.id for r in all_rules()] + list(ALL_FLOW_RULE_IDS)
+    ))
+
     baseline_path = root / args.baseline
     if args.write_baseline:
         previous = Baseline() if args.no_baseline else Baseline.load(baseline_path)
         written = Baseline.from_findings(findings, previous=previous)
-        written.save(baseline_path)
+        written.save(baseline_path, rules=inventory)
         print(f"wrote {len(written)} entr{'y' if len(written) == 1 else 'ies'} "
               f"to {baseline_path}")
         print("edit the file and replace every placeholder reason before "
@@ -751,6 +776,9 @@ def cmd_lint(args) -> int:
         return 0
 
     baseline = Baseline() if args.no_baseline else Baseline.load(baseline_path)
+    if not args.no_baseline:
+        for warning in baseline.stamp_warnings(inventory):
+            print(f"lint: warning: {warning}", file=sys.stderr)
     new, suppressed = baseline.partition(findings)
     # An entry is stale only if its *file* was in this run's scope —
     # linting a subtree must not flag entries for files it never read.
@@ -760,8 +788,15 @@ def cmd_lint(args) -> int:
             analyzed.add(path.relative_to(root).as_posix())
         except ValueError:
             analyzed.add(path.as_posix())
+    # ... and only if its *rule* ran: a shallow run cannot judge deep
+    # (XF) entries stale, and vice versa.
+    ran_rules = {r.id for r in all_rules()}
+    if args.deep:
+        ran_rules |= set(ALL_FLOW_RULE_IDS)
     stale = [
-        e for e in baseline.unused_entries(findings) if e.path in analyzed
+        e
+        for e in baseline.unused_entries(findings)
+        if e.path in analyzed and e.rule in ran_rules
     ]
 
     if args.format == "json":
@@ -782,6 +817,18 @@ def cmd_lint(args) -> int:
             "stale_baseline_entries": [e.to_json() for e in stale],
         }
         print(json.dumps(payload, indent=2))
+    elif args.format == "sarif":
+        from .analysis.sarif import render_sarif
+
+        rule_info = [
+            (r.id, r.name, r.description, r.severity) for r in all_rules()
+        ]
+        if args.deep:
+            rule_info += [
+                (c.id, c.name, c.description, c.severity)
+                for c in all_flow_checkers()
+            ]
+        print(render_sarif(new, rule_info, suppressed))
     else:
         for finding in new:
             print(finding.render())
@@ -1010,6 +1057,12 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--strict", action="store_true",
                       help="fail on any new finding or stale baseline "
                       "entry, regardless of severity (the CI gate)")
+    lint.add_argument("--deep", action="store_true",
+                      help="also run the xatuflow interprocedural "
+                      "checkers (XF001-XF004) over a cached symbol graph")
+    lint.add_argument("--no-cache", action="store_true",
+                      help="rebuild the --deep symbol graph from scratch, "
+                      "ignoring .xatuflow-cache")
     lint.add_argument("--baseline", default="lint-baseline.json",
                       help="baseline suppression file (repo-relative)")
     lint.add_argument("--no-baseline", action="store_true",
@@ -1017,8 +1070,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--write-baseline", action="store_true",
                       help="rewrite the baseline to cover current findings "
                       "(keeps existing reasons; new entries get a TODO)")
-    lint.add_argument("--format", choices=["text", "json"], default="text",
-                      help="report rendering")
+    lint.add_argument("--format", choices=["text", "json", "sarif"],
+                      default="text",
+                      help="report rendering (sarif: SARIF 2.1.0 for CI "
+                      "artifacts / code-scanning upload)")
     lint.add_argument("--list-rules", action="store_true",
                       help="print the rule catalogue and exit")
     lint.set_defaults(func=cmd_lint)

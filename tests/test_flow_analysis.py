@@ -1,0 +1,897 @@
+"""xatuflow: symbol table, call graph, CFG, and the XF001–XF004 deep
+checkers.
+
+The positive fixtures here are deliberately *interprocedural* — each
+rule gets at least one case where the triggering fact crosses two or
+more function calls (a return-dtype summary, a stream minted in a
+helper, a spawn entry two hops from the write, an unguarded chain), so
+they demonstrate exactly what the shallow per-file XL rules cannot see.
+Negatives are as load-bearing as positives: the exclusive-branch,
+ownership-transfer, and mode-aware cases pin the FP-avoidance design.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis.flow import (
+    ALL_FLOW_RULE_IDS,
+    SymbolGraph,
+    SymbolTable,
+    all_flow_checkers,
+    build_call_graph,
+    build_cfg,
+    load_symbol_graph,
+    manifest_digest,
+    module_name_for,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def graph_of(sources: dict[str, str]) -> SymbolGraph:
+    table = SymbolTable.from_sources(
+        {path: textwrap.dedent(src) for path, src in sources.items()}
+    )
+    return SymbolGraph(table, build_call_graph(table))
+
+
+def run_checker(rule_id: str, sources: dict[str, str]):
+    sg = graph_of(sources)
+    (checker,) = [c for c in all_flow_checkers() if c.id == rule_id]
+    return checker.run(sg)
+
+
+def fires(rule_id: str, sources: dict[str, str]):
+    findings = run_checker(rule_id, sources)
+    assert findings, f"{rule_id} should fire"
+    return findings
+
+
+def silent(rule_id: str, sources: dict[str, str]):
+    findings = run_checker(rule_id, sources)
+    assert findings == [], f"{rule_id} should stay silent; got " + "\n".join(
+        f.render() for f in findings
+    )
+
+
+# ----------------------------------------------------------------------
+# symbol table
+# ----------------------------------------------------------------------
+class TestSymbolTable:
+    def test_module_name_for(self):
+        assert module_name_for("src/repro/core/model.py") == "repro.core.model"
+        assert module_name_for("src/repro/core/__init__.py") == "repro.core"
+        assert module_name_for("tools/gen.py") == "tools.gen"
+
+    def test_collects_functions_classes_methods(self):
+        sg = graph_of(
+            {
+                "src/pkg/mod.py": """
+                def helper():
+                    pass
+
+                class Widget:
+                    def __init__(self):
+                        pass
+
+                    def spin(self):
+                        pass
+                """
+            }
+        )
+        table = sg.table
+        assert "pkg.mod:helper" in table.functions
+        assert "pkg.mod:Widget" in table.classes
+        assert "pkg.mod:Widget.spin" in table.functions
+
+    def test_resolves_through_import_alias(self):
+        sg = graph_of(
+            {
+                "src/pkg/a.py": "def target():\n    pass\n",
+                "src/pkg/b.py": "from pkg.a import target as t\n",
+            }
+        )
+        mod_b = sg.table.modules["pkg.b"]
+        resolved = sg.table.resolve(mod_b, "t")
+        assert resolved is not None and resolved.qualname == "pkg.a:target"
+
+    def test_resolves_relative_import(self):
+        sg = graph_of(
+            {
+                "src/pkg/__init__.py": "",
+                "src/pkg/a.py": "def target():\n    pass\n",
+                "src/pkg/b.py": "from .a import target\n",
+            }
+        )
+        mod_b = sg.table.modules["pkg.b"]
+        resolved = sg.table.resolve(mod_b, "target")
+        assert resolved is not None and resolved.qualname == "pkg.a:target"
+
+    def test_resolves_one_hop_reexport(self):
+        sg = graph_of(
+            {
+                "src/pkg/__init__.py": "from .a import target\n",
+                "src/pkg/a.py": "def target():\n    pass\n",
+                "src/other.py": "from pkg import target\n",
+            }
+        )
+        mod = sg.table.modules["other"]
+        resolved = sg.table.resolve(mod, "target")
+        assert resolved is not None and resolved.qualname == "pkg.a:target"
+
+    def test_method_of_walks_bases(self):
+        sg = graph_of(
+            {
+                "src/pkg/m.py": """
+                class Base:
+                    def go(self):
+                        pass
+
+                class Child(Base):
+                    pass
+                """
+            }
+        )
+        child = sg.table.classes["pkg.m:Child"]
+        method = sg.table.method_of(child, "go")
+        assert method is not None and method.qualname == "pkg.m:Base.go"
+
+
+# ----------------------------------------------------------------------
+# call graph
+# ----------------------------------------------------------------------
+class TestCallGraph:
+    def test_direct_and_self_edges(self):
+        sg = graph_of(
+            {
+                "src/pkg/m.py": """
+                def helper():
+                    pass
+
+                class Engine:
+                    def run(self):
+                        self.step()
+                        helper()
+
+                    def step(self):
+                        pass
+                """
+            }
+        )
+        callees = {s.callee for s in sg.graph.callees_of("pkg.m:Engine.run")}
+        assert callees == {"pkg.m:Engine.step", "pkg.m:helper"}
+
+    def test_cross_module_edge_through_import(self):
+        sg = graph_of(
+            {
+                "src/pkg/a.py": "def target():\n    pass\n",
+                "src/pkg/b.py": """
+                from pkg.a import target
+
+                def caller():
+                    target()
+                """,
+            }
+        )
+        callees = {s.callee for s in sg.graph.callees_of("pkg.b:caller")}
+        assert callees == {"pkg.a:target"}
+
+    def test_constructor_edge_records_class(self):
+        sg = graph_of(
+            {
+                "src/pkg/m.py": """
+                class Widget:
+                    def __init__(self):
+                        pass
+
+                def make():
+                    return Widget()
+                """
+            }
+        )
+        (site,) = sg.graph.callees_of("pkg.m:make")
+        assert site.callee == "pkg.m:Widget.__init__"
+        assert site.constructs == "pkg.m:Widget"
+
+    def test_reachable_from_returns_shortest_paths(self):
+        sg = graph_of(
+            {
+                "src/pkg/m.py": """
+                def a():
+                    b()
+
+                def b():
+                    c()
+
+                def c():
+                    pass
+                """
+            }
+        )
+        paths = sg.graph.reachable_from(["pkg.m:a"])
+        assert paths["pkg.m:c"] == ["pkg.m:a", "pkg.m:b", "pkg.m:c"]
+
+    def test_unique_name_fallback_marked_heuristic(self):
+        sg = graph_of(
+            {
+                "src/pkg/m.py": """
+                class Only:
+                    def very_unique_method(self):
+                        pass
+
+                def caller(obj):
+                    obj.very_unique_method()
+                """
+            }
+        )
+        (site,) = sg.graph.callees_of("pkg.m:caller")
+        assert site.heuristic
+        assert site.callee == "pkg.m:Only.very_unique_method"
+
+
+# ----------------------------------------------------------------------
+# CFG
+# ----------------------------------------------------------------------
+class TestCfg:
+    def _cfg(self, source: str):
+        import ast
+
+        tree = ast.parse(textwrap.dedent(source))
+        func = tree.body[0]
+        return func, build_cfg(func)
+
+    def test_if_else_branches_are_exclusive(self):
+        func, cfg = self._cfg(
+            """
+            def f(cond):
+                if cond:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        if_stmt = func.body[0]
+        then_block = cfg.block_of(if_stmt.body[0])
+        else_block = cfg.block_of(if_stmt.orelse[0])
+        assert then_block != else_block
+        assert not cfg.reaches(then_block, else_block)
+        assert not cfg.reaches(else_block, then_block)
+
+    def test_sequential_statements_reach(self):
+        func, cfg = self._cfg(
+            """
+            def f(cond):
+                if cond:
+                    a = 1
+                b = 2
+                if not cond:
+                    c = 3
+            """
+        )
+        first = cfg.block_of(func.body[0].body[0])
+        last = cfg.block_of(func.body[2].body[0])
+        assert cfg.reaches(first, last)
+
+    def test_loop_body_is_on_a_cycle(self):
+        func, cfg = self._cfg(
+            """
+            def f(items):
+                total = 0
+                for item in items:
+                    total += item
+                return total
+            """
+        )
+        body_block = cfg.block_of(func.body[1].body[0])
+        top_block = cfg.block_of(func.body[0])
+        assert cfg.in_loop(body_block)
+        assert not cfg.in_loop(top_block)
+
+    def test_return_terminates_path(self):
+        func, cfg = self._cfg(
+            """
+            def f(cond):
+                if cond:
+                    return 1
+                return 2
+            """
+        )
+        ret_block = cfg.block_of(func.body[0].body[0])
+        after_block = cfg.block_of(func.body[1])
+        assert not cfg.reaches(ret_block, after_block)
+
+
+# ----------------------------------------------------------------------
+# XF001 dtype-flow
+# ----------------------------------------------------------------------
+class TestDtypeFlow:
+    def test_interprocedural_mixed_join_two_hops(self):
+        # The f64 provenance crosses TWO call returns before the join —
+        # per-file rules cannot connect make_base -> load -> combine.
+        fires(
+            "XF001",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def make_base():
+                    return np.zeros(8)
+
+                def load():
+                    return make_base()
+                """,
+                "src/pkg/b.py": """
+                import numpy as np
+                from pkg.a import load
+
+                def combine():
+                    lane = np.asarray([1.0], dtype=np.float32)
+                    base = load()
+                    return lane + base
+                """,
+            },
+        )
+
+    def test_same_dtype_join_silent(self):
+        silent(
+            "XF001",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def make_base():
+                    return np.zeros(8, dtype=np.float32)
+
+                def combine():
+                    lane = np.asarray([1.0], dtype=np.float32)
+                    return lane + make_base()
+                """
+            },
+        )
+
+    def test_unknown_dtype_never_fires(self):
+        # asarray without dtype is input-dependent: unknown, not f64
+        silent(
+            "XF001",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def combine(x):
+                    lane = np.asarray(x)
+                    other = np.zeros(4, dtype=np.float32)
+                    return lane + other
+                """
+            },
+        )
+
+    def test_concatenate_mixed_fires(self):
+        fires(
+            "XF001",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def f():
+                    a = np.zeros(4, dtype=np.float32)
+                    b = np.zeros(4, dtype=np.float64)
+                    return np.concatenate([a, b])
+                """
+            },
+        )
+
+    def test_astype_cast_silences(self):
+        silent(
+            "XF001",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def make_base():
+                    return np.zeros(8)
+
+                def combine():
+                    lane = np.asarray([1.0], dtype=np.float32)
+                    base = make_base().astype(np.float32)
+                    return lane + base
+                """
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# XF002 seed-stream discipline
+# ----------------------------------------------------------------------
+class TestSeedStreams:
+    def test_double_consumption_fires(self):
+        fires(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def setup(seed):
+                    ss = np.random.SeedSequence(seed)
+                    a = np.random.default_rng(ss)
+                    b = np.random.default_rng(ss)
+                    return a, b
+                """
+            },
+        )
+
+    def test_exclusive_branches_silent(self):
+        # one stream, two consumers — but on exclusive control-flow
+        # paths, so exactly one executes: this is the scenario.py shape.
+        silent(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def setup(seed, budget):
+                    ss = np.random.SeedSequence(seed)
+                    if budget:
+                        rng = np.random.default_rng(ss)
+                    else:
+                        rng = np.random.default_rng(ss)
+                    return rng
+                """
+            },
+        )
+
+    def test_generator_shared_across_comprehension_fires(self):
+        fires(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                class Sampler:
+                    def __init__(self, rate, rng):
+                        self.rate = rate
+                        self.rng = rng
+
+                def build(rates, seed):
+                    rng = np.random.default_rng(seed)
+                    return [Sampler(r, rng) for r in rates]
+                """
+            },
+        )
+
+    def test_stream_minted_in_helper_tracked_across_call(self):
+        # The Generator identity flows through make_rng()'s return
+        # summary; the double hand-off is only visible interprocedurally.
+        findings = fires(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def make_rng(seed):
+                    return np.random.default_rng(seed)
+                """,
+                "src/pkg/b.py": """
+                from pkg.a import make_rng
+
+                class Owner:
+                    def __init__(self, rng):
+                        self.rng = rng
+
+                def build(seed):
+                    rng = make_rng(seed)
+                    first = Owner(rng)
+                    second = Owner(rng)
+                    return first, second
+                """,
+            },
+        )
+        assert any("second time" in f.message for f in findings)
+
+    def test_sequential_draws_are_not_consumption(self):
+        # Passing a generator to plain functions that draw from it is
+        # the explicit-rng idiom — deterministic, not a hand-off.
+        silent(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                def noise(rng, n):
+                    return rng.normal(size=n)
+
+                def build(seed):
+                    rng = np.random.default_rng(seed)
+                    a = noise(rng, 4)
+                    b = noise(rng, 8)
+                    return a, b
+                """
+            },
+        )
+
+    def test_spawned_children_one_owner_each_silent(self):
+        silent(
+            "XF002",
+            {
+                "src/pkg/a.py": """
+                import numpy as np
+
+                class Owner:
+                    def __init__(self, rng):
+                        self.rng = rng
+
+                def build(seed):
+                    root = np.random.SeedSequence(seed)
+                    a_ss, b_ss = root.spawn(2)
+                    return Owner(np.random.default_rng(a_ss)), Owner(
+                        np.random.default_rng(b_ss)
+                    )
+                """
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# XF003 shard-state ownership
+# ----------------------------------------------------------------------
+_WORKER_SHARED = {
+    "src/pkg/serve.py": """
+    import threading
+
+    class Detector:
+        def __init__(self):
+            self.count = 0
+
+        def step(self, x):
+            self.count += 1
+            return x
+
+    class Engine:
+        def __init__(self):
+            self.detector = Detector()
+            self.thread = threading.Thread(
+                target=worker_loop, args=(self.detector,)
+            )
+            self.thread.start()
+
+        def snapshot(self):
+            return self.detector.count
+
+    def worker_loop(detector):
+        while True:
+            inner(detector)
+
+    def inner(detector):
+        detector.step(1)
+    """
+}
+
+
+class TestShardOwnership:
+    def test_escaped_self_attr_write_two_hops_fires(self):
+        # Engine retains self.detector while the worker mutates it; the
+        # write sits two calls below the spawn target (worker_loop ->
+        # inner -> Detector.step) — invisible to per-file XL006.
+        findings = fires("XF003", _WORKER_SHARED)
+        assert any("count" in f.message for f in findings)
+        assert any("call path" in f.message for f in findings)
+
+    def test_ownership_transfer_inline_construction_silent(self):
+        # Constructing the detector inside the spawn args hands it
+        # wholly to the worker — the ShardWorker shape.
+        silent(
+            "XF003",
+            {
+                "src/pkg/serve.py": """
+                import threading
+
+                class Detector:
+                    def __init__(self):
+                        self.count = 0
+
+                    def step(self, x):
+                        self.count += 1
+                        return x
+
+                def worker_loop(detector):
+                    while True:
+                        detector.step(1)
+
+                class Engine:
+                    def __init__(self):
+                        self.thread = threading.Thread(
+                            target=worker_loop, args=(Detector(),)
+                        )
+                        self.thread.start()
+                """
+            },
+        )
+
+    def test_lock_guard_silences(self):
+        sources = {
+            "src/pkg/serve.py": _WORKER_SHARED["src/pkg/serve.py"].replace(
+                "def step(self, x):\n            self.count += 1",
+                "def step(self, x):\n            with self._lock:\n"
+                "                self.count += 1",
+            )
+        }
+        silent("XF003", sources)
+
+    def test_owner_comment_silences(self):
+        sources = {
+            "src/pkg/serve.py": _WORKER_SHARED["src/pkg/serve.py"].replace(
+                "self.count += 1", "self.count += 1  # owner: worker thread"
+            )
+        }
+        silent("XF003", sources)
+
+    def test_checkpoint_methods_exempt(self):
+        sources = {
+            "src/pkg/serve.py": _WORKER_SHARED["src/pkg/serve.py"]
+            .replace("def step(self, x):", "def load_state_dict(self, x):")
+            .replace("detector.step(1)", "detector.load_state_dict(1)")
+        }
+        silent("XF003", sources)
+
+
+# ----------------------------------------------------------------------
+# XF004 no_grad reachability
+# ----------------------------------------------------------------------
+class TestNoGradReachability:
+    def test_unguarded_allocation_two_hops_fires(self):
+        # predict -> featurize -> embed: the Tensor allocation is two
+        # calls below the inference entry, and no frame establishes
+        # no_grad — only the call graph sees this.
+        findings = fires(
+            "XF004",
+            {
+                "src/pkg/infer.py": """
+                from pkg.tape import Tensor
+
+                def predict(x):
+                    return featurize(x)
+
+                def featurize(x):
+                    return embed(x)
+
+                def embed(x):
+                    return Tensor(x)
+                """,
+                "src/pkg/tape.py": """
+                class Tensor:
+                    def __init__(self, data):
+                        self.data = data
+                """,
+            },
+        )
+        assert any("call path" in f.message for f in findings)
+
+    def test_guarded_entry_silent(self):
+        silent(
+            "XF004",
+            {
+                "src/pkg/infer.py": """
+                from pkg.tape import Tensor, no_grad
+
+                def predict(x):
+                    with no_grad():
+                        return embed(x)
+
+                def embed(x):
+                    return Tensor(x)
+                """,
+                "src/pkg/tape.py": """
+                class Tensor:
+                    def __init__(self, data):
+                        self.data = data
+
+                def no_grad():
+                    pass
+                """,
+            },
+        )
+
+    def test_no_grad_decorated_callee_silent(self):
+        silent(
+            "XF004",
+            {
+                "src/pkg/infer.py": """
+                from pkg.tape import Tensor, no_grad
+
+                def predict(x):
+                    return embed(x)
+
+                @no_grad
+                def embed(x):
+                    return Tensor(x)
+                """,
+                "src/pkg/tape.py": """
+                class Tensor:
+                    def __init__(self, data):
+                        self.data = data
+
+                def no_grad(fn):
+                    return fn
+                """,
+            },
+        )
+
+    def test_mode_aware_function_exempt(self):
+        silent(
+            "XF004",
+            {
+                "src/pkg/infer.py": """
+                from pkg.tape import Tensor, grad_enabled
+
+                def predict(x):
+                    if not grad_enabled():
+                        return x
+                    return Tensor(x)
+                """,
+                "src/pkg/tape.py": """
+                class Tensor:
+                    def __init__(self, data):
+                        self.data = data
+
+                def grad_enabled():
+                    return True
+                """,
+            },
+        )
+
+    def test_mechanism_module_exempt(self):
+        # The module defining Tensor IS the tape; its own infer-named
+        # helpers may allocate freely.
+        silent(
+            "XF004",
+            {
+                "src/pkg/tape.py": """
+                class Tensor:
+                    def __init__(self, data):
+                        self.data = data
+
+                def tape_infer(x):
+                    return Tensor(x)
+                """
+            },
+        )
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+class TestCache:
+    def _write_tree(self, root: Path, body: str) -> None:
+        (root / "src" / "pkg").mkdir(parents=True, exist_ok=True)
+        (root / "src" / "pkg" / "m.py").write_text(textwrap.dedent(body))
+
+    def test_warm_load_hits_and_edit_invalidates(self, tmp_path):
+        self._write_tree(tmp_path, "def f():\n    return 1\n")
+        _, from_cache = load_symbol_graph(tmp_path, ["src"])
+        assert not from_cache
+        sg, from_cache = load_symbol_graph(tmp_path, ["src"])
+        assert from_cache
+        assert "pkg.m:f" in sg.table.functions
+        # Any edit changes the manifest digest: cold rebuild, new symbol.
+        before = manifest_digest(tmp_path, ["src"])
+        self._write_tree(tmp_path, "def g():\n    return 2\n")
+        assert manifest_digest(tmp_path, ["src"]) != before
+        sg, from_cache = load_symbol_graph(tmp_path, ["src"])
+        assert not from_cache
+        assert "pkg.m:g" in sg.table.functions
+        assert "pkg.m:f" not in sg.table.functions
+
+    def test_corrupt_cache_falls_back_to_build(self, tmp_path):
+        self._write_tree(tmp_path, "def f():\n    return 1\n")
+        load_symbol_graph(tmp_path, ["src"])
+        cache_dir = tmp_path / ".xatuflow-cache"
+        for blob in cache_dir.glob("*.pkl"):
+            blob.write_bytes(b"not a pickle")
+        sg, from_cache = load_symbol_graph(tmp_path, ["src"])
+        assert not from_cache
+        assert "pkg.m:f" in sg.table.functions
+
+
+# ----------------------------------------------------------------------
+# the repo itself must deep-lint clean
+# ----------------------------------------------------------------------
+class TestRepoIsDeepClean:
+    def test_src_deep_lints_clean_against_baseline(self):
+        from repro.analysis import Baseline
+
+        sg, _ = load_symbol_graph(REPO_ROOT, ["src"], use_cache=False)
+        findings = []
+        for checker in all_flow_checkers():
+            findings.extend(checker.run(sg))
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        new, _suppressed = baseline.partition(findings)
+        assert new == [], "new deep findings:\n" + "\n".join(
+            f.render() for f in new
+        )
+        flow_ids = set(ALL_FLOW_RULE_IDS)
+        stale = [
+            e
+            for e in baseline.unused_entries(findings)
+            if e.rule in flow_ids
+        ]
+        assert stale == [], "stale deep baseline entries: " + ", ".join(
+            f"{e.path}:{e.rule}" for e in stale
+        )
+
+    def test_cli_lint_deep_strict_exits_clean(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--deep", "--strict", "--no-cache"]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_cli_lint_deep_sarif_is_valid_json(self, monkeypatch, capsys):
+        import json
+
+        from repro.cli import main
+
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "--deep", "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert set(ALL_FLOW_RULE_IDS) <= ids
+        # baselined findings ride along as suppressed results
+        assert all(
+            "suppressions" in r for r in run["results"]
+        ), "clean repo: every SARIF result should be a baselined suppression"
+
+
+# ----------------------------------------------------------------------
+# baseline stamp
+# ----------------------------------------------------------------------
+class TestBaselineStamp:
+    def test_save_stamps_analyzer_and_rules(self, tmp_path):
+        import json
+
+        from repro.analysis import ANALYZER_VERSION, Baseline
+
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, rules=["XL001", "XF001"])
+        payload = json.loads(path.read_text())
+        assert payload["analyzer"] == ANALYZER_VERSION
+        assert payload["rules"] == ["XF001", "XL001"]
+
+    def test_old_unstamped_baseline_warns(self, tmp_path):
+        from repro.analysis import Baseline
+
+        path = tmp_path / "baseline.json"
+        path.write_text('{"version": 1, "entries": []}')
+        baseline = Baseline.load(path)
+        warnings = baseline.stamp_warnings(["XL001"])
+        assert warnings and "stamp" in warnings[0]
+
+    def test_outdated_rule_inventory_warns(self, tmp_path):
+        import json
+
+        from repro.analysis import ANALYZER_VERSION, Baseline
+
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "analyzer": ANALYZER_VERSION,
+                    "rules": ["XL001"],
+                    "entries": [],
+                }
+            )
+        )
+        baseline = Baseline.load(path)
+        warnings = baseline.stamp_warnings(["XL001", "XF009"])
+        assert warnings and "XF009" in warnings[0]
+
+    def test_current_stamp_is_quiet(self, tmp_path):
+        from repro.analysis import Baseline
+
+        path = tmp_path / "baseline.json"
+        Baseline().save(path, rules=["XL001"])
+        assert Baseline.load(path).stamp_warnings(["XL001"]) == []
